@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks for the storage-manager primitives whose costs
+//! the paper's design decisions hinge on: latched vs latch-free page access,
+//! single B+Tree vs MRBTree probes and inserts, central vs local locking, and
+//! baseline vs consolidated log inserts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plp_btree::{BTree, MrbTree};
+use plp_instrument::{PageKind, StatsRegistry};
+use plp_lock::{LocalLockTable, LockId, LockManager, LockMode};
+use plp_storage::{Access, BufferPool, OwnerToken};
+use plp_wal::{DurabilityMode, InsertProtocol, LogManager, LogRecordKind};
+
+fn bench_page_access(c: &mut Criterion) {
+    let pool = BufferPool::new_shared(StatsRegistry::new_shared());
+    let frame = pool.alloc(PageKind::Heap);
+    let token = OwnerToken(1);
+    frame.set_owner(token);
+    let mut group = c.benchmark_group("page_access");
+    group.bench_function("latched_read", |b| {
+        b.iter(|| frame.with_read_access(Access::Latched, |p| p.read_u64(64)))
+    });
+    group.bench_function("latch_free_read", |b| {
+        b.iter(|| frame.with_read_access(Access::Owned(token), |p| p.read_u64(64)))
+    });
+    group.bench_function("latched_write", |b| {
+        b.iter(|| frame.with_write_access(Access::Latched, |p| p.write_u64(64, 1)))
+    });
+    group.bench_function("latch_free_write", |b| {
+        b.iter(|| frame.with_write_access(Access::Owned(token), |p| p.write_u64(64, 1)))
+    });
+    group.finish();
+}
+
+fn bench_index_probe(c: &mut Criterion) {
+    const KEYS: u64 = 100_000;
+    let pool = BufferPool::new_shared(StatsRegistry::new_shared());
+    let single = BTree::create(pool.clone(), 128);
+    let mrb = MrbTree::create_uniform(pool, 128, 16, KEYS);
+    for k in 0..KEYS {
+        single.insert(k, k, Access::Latched).unwrap();
+        mrb.insert(k, k, Access::Latched).unwrap();
+    }
+    let mut group = c.benchmark_group("index_probe");
+    let mut key = 0u64;
+    group.bench_function("single_btree", |b| {
+        b.iter(|| {
+            key = (key + 7919) % KEYS;
+            single.probe(key, Access::Latched).unwrap()
+        })
+    });
+    group.bench_function("mrbtree_16_partitions", |b| {
+        b.iter(|| {
+            key = (key + 7919) % KEYS;
+            mrb.probe(key, Access::Latched).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_index_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_insert");
+    group.bench_function("single_btree_append", |b| {
+        let pool = BufferPool::new_shared(StatsRegistry::new_shared());
+        let tree = BTree::create(pool, 128);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            tree.insert(k, k, Access::Latched).unwrap()
+        })
+    });
+    group.bench_function("mrbtree_append", |b| {
+        let pool = BufferPool::new_shared(StatsRegistry::new_shared());
+        let tree = MrbTree::create_uniform(pool, 128, 8, u64::MAX / 2);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            tree.insert(k, k, Access::Latched).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_locking(c: &mut Criterion) {
+    let stats = StatsRegistry::new_shared();
+    let central = LockManager::new(stats);
+    let mut local = LocalLockTable::new();
+    let mut group = c.benchmark_group("locking");
+    let mut k = 0u64;
+    group.bench_function("central_acquire_release", |b| {
+        b.iter(|| {
+            k += 1;
+            let id = LockId::Key(1, k);
+            central.acquire_hierarchical(1, id, LockMode::X, None).unwrap();
+            central.release_all(1, &[id, LockId::Table(1), LockId::Database]);
+        })
+    });
+    group.bench_function("thread_local_acquire_release", |b| {
+        b.iter(|| {
+            k += 1;
+            local.acquire(1, LockId::Key(1, k), LockMode::X);
+            local.release_all(1);
+        })
+    });
+    group.finish();
+}
+
+fn bench_log_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_insert");
+    for (name, protocol) in [
+        ("baseline", InsertProtocol::Baseline),
+        ("consolidated", InsertProtocol::Consolidated),
+    ] {
+        let stats = StatsRegistry::new_shared();
+        let log = LogManager::new(protocol, DurabilityMode::Lazy, stats);
+        group.bench_with_input(BenchmarkId::new("txn_with_4_records", name), &log, |b, log| {
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                let mut h = log.begin(t);
+                for page in 0..4 {
+                    log.log(&mut h, LogRecordKind::Update, page, 64);
+                }
+                log.commit(&mut h)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_page_access, bench_index_probe, bench_index_insert, bench_locking, bench_log_insert
+}
+criterion_main!(benches);

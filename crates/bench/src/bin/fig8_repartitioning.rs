@@ -1,0 +1,9 @@
+//! Regenerates Figure 8 of the paper.  `--full` uses larger parameters.
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        plp_bench::Scale::full()
+    } else {
+        plp_bench::Scale::quick()
+    };
+    plp_bench::print_tables(&plp_bench::fig8_repartitioning(scale));
+}

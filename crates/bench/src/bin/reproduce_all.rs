@@ -1,0 +1,34 @@
+//! Runs every table/figure reproduction with scaled-down parameters and
+//! prints the results (plus a markdown copy to `reproduction_results.md`).
+use std::fmt::Write as _;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        plp_bench::Scale::full()
+    } else {
+        plp_bench::Scale::quick()
+    };
+    let mut md = String::new();
+    let mut section = |name: &str, tables: Vec<plp_instrument::Table>| {
+        println!("\n################ {name} ################\n");
+        plp_bench::print_tables(&tables);
+        let _ = writeln!(md, "\n## {name}\n\n{}", plp_bench::markdown_tables(&tables));
+    };
+    section("Table 1", plp_bench::table1_repartition_cost());
+    section("Table 2", plp_bench::table2_cost_model());
+    section("Figure 1", plp_bench::fig1_critical_sections(scale));
+    section("Figure 2", plp_bench::fig2_latch_breakdown(scale));
+    section("Figure 3", plp_bench::fig3_latches_by_design(scale));
+    section("Figure 5", plp_bench::fig5_read_only_scaling(scale));
+    section("Figure 6", plp_bench::fig6_insdel_breakdown(scale));
+    section("Figure 7", plp_bench::fig7_tpcb_false_sharing(scale));
+    section("Figure 8", plp_bench::fig8_repartitioning(scale));
+    section("Figure 9", plp_bench::fig9_mrbtree_conventional(scale));
+    section("Figure 10", plp_bench::fig10_parallel_smo(scale));
+    section("Figure 11", plp_bench::fig11_fragmentation(scale));
+    section("Figure 12", plp_bench::fig12_heap_scan(scale));
+    section("Ablation: log protocol", plp_bench::ablation_log_protocol(scale));
+    section("Ablation: padding vs PLP-Leaf", plp_bench::ablation_padding(scale));
+    std::fs::write("reproduction_results.md", md).expect("write results");
+    println!("\nwrote reproduction_results.md");
+}

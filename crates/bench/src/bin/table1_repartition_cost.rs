@@ -1,0 +1,4 @@
+//! Regenerates Table 1 of the paper (analytical repartitioning cost model).
+fn main() {
+    plp_bench::print_tables(&plp_bench::table1_repartition_cost());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 of the paper (cost-model parameter sweep).
+fn main() {
+    plp_bench::print_tables(&plp_bench::table2_cost_model());
+}

@@ -1,0 +1,79 @@
+//! Benchmark harness: one experiment function per table/figure of the paper.
+//!
+//! Every function returns [`plp_instrument::Table`]s containing the same rows
+//! or series the paper reports; the `bin/` targets print them, and
+//! `bin/reproduce_all` runs everything with scaled-down default parameters and
+//! collects the output.  Absolute numbers differ from the paper (different
+//! hardware, a reproduction substrate instead of Shore-MT), but the *shape* —
+//! which design wins, by roughly what factor, and where the crossovers are —
+//! is what these experiments check.
+
+pub mod experiments;
+
+pub use experiments::*;
+
+use plp_instrument::Table;
+
+/// Scale knobs shared by all experiments so `reproduce_all` can run quickly
+/// ("quick") or closer to the paper's sizes ("full").
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// TATP subscribers.
+    pub subscribers: u64,
+    /// Transactions per client thread per measured point.
+    pub txns_per_thread: u64,
+    /// Maximum number of client threads / partitions swept.
+    pub max_threads: usize,
+}
+
+impl Scale {
+    pub fn quick() -> Self {
+        Self {
+            subscribers: 2_000,
+            txns_per_thread: 400,
+            max_threads: num_threads().min(8),
+        }
+    }
+
+    pub fn full() -> Self {
+        Self {
+            subscribers: 20_000,
+            txns_per_thread: 4_000,
+            max_threads: num_threads(),
+        }
+    }
+
+    /// The hardware-context sweep used by the scaling figures.
+    pub fn thread_sweep(&self) -> Vec<usize> {
+        let mut points = vec![1, 2, 4, 8, 16, 32, 64];
+        points.retain(|&t| t <= self.max_threads);
+        if points.is_empty() {
+            points.push(1);
+        }
+        points
+    }
+}
+
+/// Number of hardware threads available.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Print a set of tables to stdout (used by every bin target).
+pub fn print_tables(tables: &[Table]) {
+    for t in tables {
+        println!("{}", t.render());
+    }
+}
+
+/// Render tables as markdown (used by `reproduce_all` to build EXPERIMENTS
+/// output).
+pub fn markdown_tables(tables: &[Table]) -> String {
+    tables
+        .iter()
+        .map(|t| t.render_markdown())
+        .collect::<Vec<_>>()
+        .join("\n")
+}

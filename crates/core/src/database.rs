@@ -1,0 +1,209 @@
+//! The shared database: buffer pool, managers and tables.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use plp_instrument::{StatsRegistry, TimeBreakdown};
+use plp_lock::LockManager;
+use plp_storage::{Access, BufferPool, PageCleaner};
+use plp_txn::TxnManager;
+use plp_wal::{DurabilityMode, LogManager};
+
+use crate::catalog::{EngineConfig, TableId, TableSpec};
+use crate::error::EngineError;
+use crate::table::Table;
+
+/// Everything the execution designs share: one buffer pool, one log, one
+/// (central) lock manager, one transaction manager, and the tables.
+pub struct Database {
+    config: EngineConfig,
+    stats: Arc<StatsRegistry>,
+    breakdown: Arc<TimeBreakdown>,
+    pool: Arc<BufferPool>,
+    locks: Arc<LockManager>,
+    log: Arc<LogManager>,
+    txns: Arc<TxnManager>,
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// Create a database with the given schema under a configuration.
+    pub fn create(config: EngineConfig, schema: &[TableSpec]) -> Arc<Self> {
+        let stats = StatsRegistry::new_shared();
+        let pool = BufferPool::new_shared(stats.clone());
+        let locks = Arc::new(LockManager::new(stats.clone()));
+        let log = Arc::new(LogManager::new(
+            config.log_protocol,
+            config.durability,
+            stats.clone(),
+        ));
+        if config.durability == DurabilityMode::Synchronous {
+            log.start_flusher(Duration::from_micros(100));
+        }
+        let txns = Arc::new(TxnManager::new(log.clone(), stats.clone()));
+        let tables = schema
+            .iter()
+            .map(|spec| {
+                Table::create(
+                    pool.clone(),
+                    spec.clone(),
+                    config.index_kind,
+                    config.index_fanout,
+                    config.partitions,
+                    config.design.placement_policy(),
+                )
+            })
+            .collect();
+        Arc::new(Self {
+            config,
+            stats,
+            breakdown: Arc::new(TimeBreakdown::new()),
+            pool,
+            locks,
+            log,
+            txns,
+            tables,
+        })
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> &Arc<StatsRegistry> {
+        &self.stats
+    }
+
+    pub fn breakdown(&self) -> &Arc<TimeBreakdown> {
+        &self.breakdown
+    }
+
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    pub fn lock_manager(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    pub fn log_manager(&self) -> &Arc<LogManager> {
+        &self.log
+    }
+
+    pub fn txn_manager(&self) -> &Arc<TxnManager> {
+        &self.txns
+    }
+
+    pub fn table(&self, id: TableId) -> Result<&Table, EngineError> {
+        self.tables
+            .get(id.0 as usize)
+            .ok_or(EngineError::NoSuchTable(id))
+    }
+
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// A page cleaner over this database's buffer pool.
+    pub fn cleaner(&self) -> PageCleaner {
+        PageCleaner::new(self.pool.clone())
+    }
+
+    /// Bulk-load a record during database population.  Loading happens before
+    /// any engine threads start, uses latched access and is excluded from the
+    /// instrumented run statistics (the caller resets stats afterwards).
+    pub fn load_record(
+        &self,
+        table: TableId,
+        key: u64,
+        record: &[u8],
+        secondary_key: Option<u64>,
+    ) -> Result<(), EngineError> {
+        let t = self.table(table)?;
+        t.insert(key, record, secondary_key, Access::Latched, Access::Latched)?;
+        Ok(())
+    }
+
+    /// Reset every statistic (done after loading, before measurement).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+        self.breakdown.reset();
+    }
+
+    /// Pad a record to the configured size if record padding is enabled
+    /// (used by the TPC-B false-sharing ablation).
+    pub fn maybe_pad(&self, record: Vec<u8>, padded_size: usize) -> Vec<u8> {
+        if self.config.pad_records && record.len() < padded_size {
+            let mut padded = record;
+            padded.resize(padded_size, 0);
+            padded
+        } else {
+            record
+        }
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("design", &self.config.design)
+            .field("tables", &self.tables.len())
+            .field("pages", &self.pool.page_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Design;
+
+    fn schema() -> Vec<TableSpec> {
+        vec![
+            TableSpec::new(0, "subscriber", 10_000).with_secondary(),
+            TableSpec::new(1, "call_forwarding", 10_000 * 16),
+        ]
+    }
+
+    #[test]
+    fn create_load_read_roundtrip() {
+        let db = Database::create(EngineConfig::new(Design::Conventional { sli: true }), &schema());
+        db.load_record(TableId(0), 7, b"subscriber-7", Some(1007))
+            .unwrap();
+        let rec = db
+            .table(TableId(0))
+            .unwrap()
+            .read(7, Access::Latched, Access::Latched)
+            .unwrap();
+        assert_eq!(rec.unwrap(), b"subscriber-7");
+        assert_eq!(
+            db.table(TableId(0)).unwrap().secondary_probe(1007).unwrap(),
+            Some(7)
+        );
+        assert!(db.table(TableId(9)).is_err());
+    }
+
+    #[test]
+    fn stats_reset_after_load() {
+        let db = Database::create(EngineConfig::new(Design::LogicalOnly), &schema());
+        for k in 0..100 {
+            db.load_record(TableId(0), k, b"payload", None).unwrap();
+        }
+        assert!(db.stats().snapshot().latches.total_acquired() > 0);
+        db.reset_stats();
+        assert_eq!(db.stats().snapshot().latches.total_acquired(), 0);
+    }
+
+    #[test]
+    fn padding_is_config_driven() {
+        let mut cfg = EngineConfig::new(Design::Conventional { sli: false });
+        cfg.pad_records = true;
+        let db = Database::create(cfg, &schema());
+        assert_eq!(db.maybe_pad(vec![1, 2, 3], 10).len(), 10);
+        let db2 = Database::create(
+            EngineConfig::new(Design::Conventional { sli: false }),
+            &schema(),
+        );
+        assert_eq!(db2.maybe_pad(vec![1, 2, 3], 10).len(), 3);
+    }
+}

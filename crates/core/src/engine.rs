@@ -1,0 +1,245 @@
+//! The engine front-end: sessions, transaction execution, repartitioning.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use plp_lock::AgentLockCache;
+use plp_txn::Transaction;
+
+use crate::action::{ActionOutput, TransactionPlan};
+use crate::catalog::{Design, EngineConfig, TableId, TableSpec};
+use crate::ctx::ConventionalCtx;
+use crate::database::Database;
+use crate::error::EngineError;
+use crate::partition::PartitionManager;
+use crate::worker::ActionReply;
+
+/// A running instance of one execution design over one database.
+pub struct Engine {
+    db: Arc<Database>,
+    partition_mgr: Option<PartitionManager>,
+    design: Design,
+}
+
+impl Engine {
+    /// Create the database for `schema` and start the engine (worker threads
+    /// for the partitioned designs).  Load data through
+    /// [`Database::load_record`] (or a workload loader) and then call
+    /// [`Engine::finish_loading`] before measuring.
+    pub fn start(config: EngineConfig, schema: &[TableSpec]) -> Self {
+        let design = config.design;
+        let partitions = config.partitions;
+        let db = Database::create(config, schema);
+        let partition_mgr = if design.is_partitioned() {
+            Some(PartitionManager::new(db.clone(), design, partitions))
+        } else {
+            None
+        };
+        Self {
+            db,
+            partition_mgr,
+            design,
+        }
+    }
+
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    pub fn partition_manager(&self) -> Option<&PartitionManager> {
+        self.partition_mgr.as_ref()
+    }
+
+    /// Finish the loading phase: assign latch-free page ownership (PLP) and
+    /// reset all statistics so the measured run starts from zero.
+    pub fn finish_loading(&self) {
+        if let Some(pm) = &self.partition_mgr {
+            pm.assign_ownership();
+        }
+        self.db.reset_stats();
+    }
+
+    /// Open a session (one per client thread).  Sessions hold per-agent state
+    /// such as the SLI lock cache.
+    pub fn session(&self) -> Session<'_> {
+        let sli = match self.design {
+            Design::Conventional { sli: true } => {
+                // Agent ids live far above transaction ids to avoid collisions.
+                static NEXT_AGENT: std::sync::atomic::AtomicU64 =
+                    std::sync::atomic::AtomicU64::new(1);
+                let id = u64::MAX - NEXT_AGENT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Some(AgentLockCache::new(id))
+            }
+            _ => None,
+        };
+        Session { engine: self, sli }
+    }
+
+    /// Repartition a table to new boundaries (partitioned designs only).
+    /// Returns the number of heap records physically moved.
+    pub fn repartition(&self, table: TableId, new_bounds: &[u64]) -> Result<usize, EngineError> {
+        match &self.partition_mgr {
+            Some(pm) => pm.repartition(table, new_bounds),
+            None => Ok(0), // the conventional design has nothing to repartition
+        }
+    }
+
+    /// Run one page-cleaning round appropriate to the design.
+    pub fn clean_pages(&self) -> usize {
+        match &self.partition_mgr {
+            Some(pm) if self.design.latch_free_index() => pm.clean_pages(),
+            _ => self.db.cleaner().clean_pass(),
+        }
+    }
+
+    /// Shut down worker threads (idempotent; also happens on drop).
+    pub fn shutdown(&mut self) {
+        if let Some(pm) = &mut self.partition_mgr {
+            pm.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("design", &self.design)
+            .field("partitioned", &self.partition_mgr.is_some())
+            .finish()
+    }
+}
+
+/// Per-client-thread execution handle.
+pub struct Session<'e> {
+    engine: &'e Engine,
+    sli: Option<AgentLockCache>,
+}
+
+impl Session<'_> {
+    /// Execute one transaction described by `plan`.  Returns the concatenated
+    /// outputs of all its actions, or the abort reason.
+    pub fn execute(&mut self, plan: TransactionPlan) -> Result<Vec<ActionOutput>, EngineError> {
+        let start = Instant::now();
+        let db = self.engine.db.clone();
+        let mut txn = db.txn_manager().begin();
+        let result = if self.engine.design.is_partitioned() {
+            self.execute_partitioned(&db, &mut txn, plan)
+        } else {
+            self.execute_conventional(&db, &mut txn, plan)
+        };
+        match result {
+            Ok(outputs) => {
+                let locks = match self.engine.design {
+                    Design::Conventional { .. } => Some(db.lock_manager().as_ref()),
+                    _ => None,
+                };
+                db.txn_manager()
+                    .commit_with(&mut txn, locks, Some(db.breakdown()));
+                db.breakdown().finish_txn(start.elapsed());
+                Ok(outputs)
+            }
+            Err(e) => {
+                let locks = match self.engine.design {
+                    Design::Conventional { .. } => Some(db.lock_manager().as_ref()),
+                    _ => None,
+                };
+                db.txn_manager().abort_with(&mut txn, locks);
+                db.breakdown().finish_txn(start.elapsed());
+                Err(e)
+            }
+        }
+    }
+
+    fn execute_conventional(
+        &mut self,
+        db: &Database,
+        txn: &mut Transaction,
+        mut plan: TransactionPlan,
+    ) -> Result<Vec<ActionOutput>, EngineError> {
+        let mut all_outputs = Vec::new();
+        let mut total_actions = 0u32;
+        loop {
+            let mut stage_outputs = Vec::with_capacity(plan.actions.len());
+            for action in plan.actions {
+                total_actions += 1;
+                let mut ctx =
+                    ConventionalCtx::new(db, txn, self.sli.as_mut(), db.breakdown());
+                stage_outputs.push((action.run)(&mut ctx)?);
+            }
+            all_outputs.extend(stage_outputs.iter().cloned());
+            match plan.then {
+                Some(cont) => {
+                    plan = cont(&stage_outputs);
+                    if plan.actions.is_empty() && plan.then.is_none() {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        txn.set_action_count(total_actions);
+        Ok(all_outputs)
+    }
+
+    fn execute_partitioned(
+        &mut self,
+        db: &Database,
+        txn: &mut Transaction,
+        mut plan: TransactionPlan,
+    ) -> Result<Vec<ActionOutput>, EngineError> {
+        let pm = self
+            .engine
+            .partition_mgr
+            .as_ref()
+            .expect("partitioned design has a partition manager");
+        let mut all_outputs = Vec::new();
+        let mut total_actions = 0u32;
+        let mut abort: Option<EngineError> = None;
+        loop {
+            // Dispatch the whole stage, then wait at the rendezvous point.
+            let mut pending = Vec::with_capacity(plan.actions.len());
+            for action in plan.actions {
+                total_actions += 1;
+                let worker = pm.route(action.table, action.routing_key);
+                let reply =
+                    pm.worker(worker)
+                        .send_action(txn.id(), action.run, db.stats().as_ref());
+                pending.push(reply);
+            }
+            let mut stage_outputs = Vec::with_capacity(pending.len());
+            for reply in pending {
+                let ActionReply { result, log } =
+                    reply.recv().map_err(|_| EngineError::Shutdown)?;
+                // Merge the action's log records into the transaction so the
+                // commit record covers them (one consolidated insert).
+                for (kind, page, payload) in log {
+                    db.log_manager().log(txn.log_handle_mut(), kind, page, payload);
+                }
+                match result {
+                    Ok(out) => stage_outputs.push(out),
+                    Err(e) => abort = Some(e),
+                }
+            }
+            if let Some(e) = abort {
+                txn.set_action_count(total_actions);
+                return Err(e);
+            }
+            all_outputs.extend(stage_outputs.iter().cloned());
+            match plan.then {
+                Some(cont) => {
+                    plan = cont(&stage_outputs);
+                    if plan.actions.is_empty() && plan.then.is_none() {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        txn.set_action_count(total_actions);
+        Ok(all_outputs)
+    }
+}

@@ -1,0 +1,356 @@
+//! The partition manager.
+//!
+//! The partition manager owns the worker threads, the routing tables that map
+//! `(table, key)` to the owning worker, and the ownership assignment that
+//! makes the PLP designs latch-free.  It also drives repartitioning: quiesce
+//! the workers, slice/meld the MRBTrees to the new boundaries, relocate heap
+//! records where the placement policy requires it, re-assign page ownership,
+//! update the routing tables and resume (Section 3.1 and Appendix A.3).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use plp_btree::PartitionId;
+use plp_storage::{Access, OwnerToken, PageId, PlacementHint, PlacementPolicy, Rid};
+use plp_storage::SlottedPage;
+
+use crate::catalog::{Design, TableId};
+use crate::database::Database;
+use crate::error::EngineError;
+use crate::worker::WorkerHandle;
+
+/// Routing table for one table: sorted partition start keys; partition `i`
+/// covers `[starts[i], starts[i+1])` and is served by worker `i`.
+#[derive(Debug, Clone)]
+struct Routing {
+    starts: Vec<u64>,
+}
+
+impl Routing {
+    fn route(&self, key: u64) -> usize {
+        match self.starts.binary_search(&key) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+}
+
+/// Owns workers and routing state for the partitioned designs.
+pub struct PartitionManager {
+    db: Arc<Database>,
+    design: Design,
+    workers: Vec<WorkerHandle>,
+    routing: RwLock<HashMap<TableId, Routing>>,
+}
+
+impl PartitionManager {
+    /// Spawn one worker per partition and build uniform routing tables.
+    pub fn new(db: Arc<Database>, design: Design, partitions: usize) -> Self {
+        let workers = (0..partitions)
+            .map(|i| WorkerHandle::spawn(i, db.clone(), design))
+            .collect();
+        let mut routing = HashMap::new();
+        for table in db.tables() {
+            let spec = table.spec();
+            routing.insert(
+                spec.id,
+                Routing {
+                    starts: spec.partition_bounds(partitions),
+                },
+            );
+        }
+        Self {
+            db,
+            design,
+            workers,
+            routing: RwLock::new(routing),
+        }
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub fn worker(&self, index: usize) -> &WorkerHandle {
+        &self.workers[index]
+    }
+
+    pub fn token_of(&self, index: usize) -> OwnerToken {
+        self.workers[index].token
+    }
+
+    /// The worker that owns `key` of `table`.
+    pub fn route(&self, table: TableId, key: u64) -> usize {
+        let routing = self.routing.read();
+        routing
+            .get(&table)
+            .map(|r| r.route(key).min(self.workers.len() - 1))
+            .unwrap_or(0)
+    }
+
+    /// Current partition boundaries of a table.
+    pub fn bounds(&self, table: TableId) -> Vec<u64> {
+        self.routing
+            .read()
+            .get(&table)
+            .map(|r| r.starts.clone())
+            .unwrap_or_default()
+    }
+
+    /// Assign latch-free ownership of every page to its partition's worker
+    /// (index pages for all PLP designs; heap pages when the placement policy
+    /// makes them partition- or leaf-owned).  Called after loading and after
+    /// every repartitioning.
+    pub fn assign_ownership(&self) {
+        if !self.design.latch_free_index() {
+            return;
+        }
+        for table in self.db.tables() {
+            let Some(mrb) = table.primary().as_mrb() else {
+                continue;
+            };
+            // Map every index page of partition p to worker p's token.
+            let mut leaf_tokens: HashMap<PageId, OwnerToken> = HashMap::new();
+            for p in 0..mrb.partition_count() {
+                let worker = p.min(self.workers.len() - 1);
+                let token = self.workers[worker].token;
+                let subtree = mrb.subtree(p as PartitionId);
+                for page in subtree.all_pages() {
+                    if let Ok(frame) = self.db.pool().get(page) {
+                        frame.set_owner(token);
+                    }
+                    leaf_tokens.insert(page, token);
+                }
+            }
+            if !self.design.latch_free_heap() {
+                continue;
+            }
+            // Heap pages follow their owner (partition or leaf).
+            for page_id in table.heap().page_ids() {
+                let Ok(frame) = self.db.pool().get(page_id) else {
+                    continue;
+                };
+                let token = match table.heap().policy() {
+                    PlacementPolicy::Regular => None,
+                    PlacementPolicy::PartitionOwned => {
+                        let partition = frame.with_page(SlottedPage::partition_owner) as usize;
+                        Some(self.workers[partition.min(self.workers.len() - 1)].token)
+                    }
+                    PlacementPolicy::LeafOwned => {
+                        let leaf = frame.with_page(SlottedPage::owner_leaf);
+                        leaf_tokens.get(&leaf).copied()
+                    }
+                };
+                if let Some(token) = token {
+                    frame.set_owner(token);
+                }
+            }
+        }
+    }
+
+    /// Quiesce every worker; returns the resume senders (dropping or signalling
+    /// them resumes the workers).
+    fn quiesce_all(&self) -> Vec<crossbeam::channel::Sender<()>> {
+        self.workers.iter().map(|w| w.quiesce()).collect()
+    }
+
+    /// Repartition one table to the new boundary set (must have exactly one
+    /// boundary per worker, starting at the same minimum key).
+    ///
+    /// * Logical-only: only the routing table changes.
+    /// * PLP designs: the MRBTree is sliced/melded to the new boundaries, heap
+    ///   records are relocated as required by the placement policy, and page
+    ///   ownership is re-assigned.
+    ///
+    /// Returns the number of heap records physically moved.
+    pub fn repartition(&self, table_id: TableId, new_bounds: &[u64]) -> Result<usize, EngineError> {
+        assert_eq!(
+            new_bounds.len(),
+            self.workers.len(),
+            "one partition per worker"
+        );
+        let old_bounds = self.bounds(table_id);
+        assert_eq!(old_bounds.first(), new_bounds.first(), "first bound fixed");
+
+        let mut records_moved = 0usize;
+        let resumers = self.quiesce_all();
+
+        if self.design.latch_free_index() || self.db.config().design == Design::LogicalOnly {
+            // Physical repartitioning only applies to MRBTree-backed tables.
+            if let Some(mrb) = self.db.table(table_id)?.primary().as_mrb() {
+                // Slice at every new boundary that does not exist yet.
+                for &b in new_bounds {
+                    let existing = mrb.partition_table().ranges();
+                    if !existing.iter().any(|r| r.start_key == b) {
+                        let report = mrb
+                            .slice(b)
+                            .map_err(|e| EngineError::from_btree(table_id, e))?;
+                        records_moved += self.fix_placement_after_slice(
+                            table_id,
+                            &report.moved_leaf_entries,
+                        )?;
+                    }
+                }
+                // Meld away every old boundary that is no longer wanted.
+                loop {
+                    let existing = mrb.partition_table().ranges();
+                    let obsolete = existing
+                        .iter()
+                        .enumerate()
+                        .skip(1)
+                        .find(|(_, r)| !new_bounds.contains(&r.start_key))
+                        .map(|(i, _)| i as PartitionId);
+                    match obsolete {
+                        Some(p) => {
+                            let report = mrb
+                                .meld(p)
+                                .map_err(|e| EngineError::from_btree(table_id, e))?;
+                            records_moved += self.fix_placement_after_slice(
+                                table_id,
+                                &report.moved_leaf_entries,
+                            )?;
+                        }
+                        None => break,
+                    }
+                }
+                // PLP-Partition: heap pages are bucketed by partition id, so a
+                // boundary move forces records whose partition changed onto
+                // pages of their new partition.
+                if self.db.table(table_id)?.heap().policy() == PlacementPolicy::PartitionOwned {
+                    records_moved += self.rebucket_partition_records(table_id, &old_bounds)?;
+                }
+            }
+        }
+
+        // Update routing and ownership, then resume the workers.
+        self.routing.write().insert(
+            table_id,
+            Routing {
+                starts: new_bounds.to_vec(),
+            },
+        );
+        self.assign_ownership();
+        for r in resumers {
+            let _ = r.send(());
+        }
+        Ok(records_moved)
+    }
+
+    /// PLP-Leaf record relocation after a slice/meld moved leaf entries to a
+    /// different leaf page (the Section 3.3 callback).
+    fn fix_placement_after_slice(
+        &self,
+        table_id: TableId,
+        moved: &[(u64, u64)],
+    ) -> Result<usize, EngineError> {
+        let table = self.db.table(table_id)?;
+        if table.heap().policy() != PlacementPolicy::LeafOwned || moved.is_empty() {
+            return Ok(0);
+        }
+        let mut count = 0;
+        for &(key, _) in moved {
+            let leaf = table
+                .primary()
+                .locate_leaf(key, Access::Latched)
+                .map_err(|e| EngineError::from_btree(table_id, e))?;
+            let packed = table
+                .primary()
+                .probe(key, Access::Latched)
+                .map_err(|e| EngineError::from_btree(table_id, e))?
+                .unwrap_or(u64::MAX);
+            table.relocate_records_to_leaf(
+                &[(key, packed)],
+                leaf,
+                Access::Latched,
+                Access::Latched,
+            )?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// PLP-Partition record rebucketing: every record whose partition changed
+    /// is moved to a heap page owned by the new partition.
+    fn rebucket_partition_records(
+        &self,
+        table_id: TableId,
+        old_bounds: &[u64],
+    ) -> Result<usize, EngineError> {
+        let table = self.db.table(table_id)?;
+        let new_bounds = self.bounds(table_id);
+        let route = |bounds: &[u64], key: u64| -> usize {
+            match bounds.binary_search(&key) {
+                Ok(i) => i,
+                Err(0) => 0,
+                Err(i) => i - 1,
+            }
+        };
+        // Find the keys whose partition assignment changed.
+        let mut moved = 0usize;
+        let entries = table
+            .primary()
+            .range_scan(0, u64::MAX - 1, Access::Latched)
+            .map_err(|e| EngineError::from_btree(table_id, e))?;
+        for (key, packed) in entries {
+            let old_p = route(old_bounds, key);
+            let new_p = route(&new_bounds, key);
+            if old_p == new_p {
+                continue;
+            }
+            let rid = Rid::unpack(packed);
+            let Ok(record) = table.heap().get(rid, Access::Latched) else {
+                continue;
+            };
+            let new_rid = table.heap().insert(
+                &record,
+                PlacementHint::Partition(new_p as u32),
+                Access::Latched,
+            )?;
+            table
+                .heap()
+                .delete(rid, PlacementHint::Partition(old_p as u32), Access::Latched)
+                .ok();
+            table
+                .primary()
+                .update_value(key, new_rid.pack(), Access::Latched)
+                .map_err(|e| EngineError::from_btree(table_id, e))?;
+            moved += 1;
+        }
+        Ok(moved)
+    }
+
+    /// Route page-cleaning work to the owning workers (the PLP cleaning path);
+    /// un-owned pages are cleaned directly.
+    pub fn clean_pages(&self) -> usize {
+        let cleaner = self.db.cleaner();
+        let requests = cleaner.collect_requests();
+        let mut total = 0;
+        for (token, pages) in requests {
+            if token == OwnerToken::NONE {
+                total += cleaner.clean_unowned(&pages);
+            } else if let Some(w) = self.workers.iter().find(|w| w.token == token) {
+                total += pages.len();
+                w.send_clean(pages);
+            }
+        }
+        total
+    }
+
+    /// Shut every worker down (joins their threads).
+    pub fn shutdown(&mut self) {
+        for w in &mut self.workers {
+            w.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for PartitionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionManager")
+            .field("design", &self.design)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}

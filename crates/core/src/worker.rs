@@ -1,0 +1,159 @@
+//! Partition worker threads.
+//!
+//! Each logical partition is served by exactly one worker thread.  The
+//! coordinator (the client thread running [`crate::engine::Session::execute`])
+//! sends it [`WorkerRequest::Action`] messages; the worker executes the action
+//! closure against its thread-local [`PartitionCtx`] and replies with the
+//! output plus the action's accumulated log records.  This message exchange is
+//! the *fixed-contention* communication that replaces centralized locking in
+//! the partitioned designs (Figure 1's "Message passing" component).
+//!
+//! Workers also handle system requests: page-cleaning batches for pages they
+//! own (Appendix A.4) and quiesce/resume handshakes used by repartitioning.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use plp_instrument::CsCategory;
+use plp_lock::LocalLockTable;
+use plp_storage::{OwnerToken, PageCleaner, PageId};
+use plp_wal::LogRecordKind;
+
+use crate::action::{ActionFn, ActionOutput};
+use crate::catalog::Design;
+use crate::ctx::PartitionCtx;
+use crate::database::Database;
+use crate::error::EngineError;
+
+/// Reply sent back to the coordinator when an action finishes.
+pub struct ActionReply {
+    pub result: Result<ActionOutput, EngineError>,
+    pub log: Vec<(LogRecordKind, u64, u32)>,
+}
+
+/// Requests a worker can serve.
+pub enum WorkerRequest {
+    /// Execute a transaction action on behalf of `txn_id`.
+    Action {
+        txn_id: u64,
+        run: ActionFn,
+        reply: Sender<ActionReply>,
+    },
+    /// Clean the given (owned) pages — the PLP page-cleaning path.
+    Clean { pages: Vec<PageId> },
+    /// Quiesce: acknowledge and then block until the resume channel fires.
+    Quiesce {
+        ack: Sender<()>,
+        resume: Receiver<()>,
+    },
+    /// Terminate the worker thread.
+    Shutdown,
+}
+
+/// Handle to one running partition worker.
+pub struct WorkerHandle {
+    pub index: usize,
+    pub token: OwnerToken,
+    sender: Sender<WorkerRequest>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Spawn a worker serving partition `index`.
+    pub fn spawn(index: usize, db: Arc<Database>, design: Design) -> Self {
+        let token = OwnerToken(index as u64 + 1);
+        let (tx, rx) = unbounded::<WorkerRequest>();
+        let thread = std::thread::Builder::new()
+            .name(format!("plp-worker-{index}"))
+            .spawn(move || worker_loop(db, design, token, rx))
+            .expect("spawn partition worker");
+        Self {
+            index,
+            token,
+            sender: tx,
+            thread: Some(thread),
+        }
+    }
+
+    /// Send an action to this worker, returning the reply channel.
+    pub fn send_action(
+        &self,
+        txn_id: u64,
+        run: ActionFn,
+        stats: &plp_instrument::StatsRegistry,
+    ) -> Receiver<ActionReply> {
+        let (reply_tx, reply_rx) = bounded(1);
+        // The enqueue is the coordinator's half of the message-passing
+        // critical section pair.
+        stats.cs().enter(CsCategory::MessagePassing, false);
+        self.sender
+            .send(WorkerRequest::Action {
+                txn_id,
+                run,
+                reply: reply_tx,
+            })
+            .expect("worker alive");
+        reply_rx
+    }
+
+    /// Route a page-cleaning batch to this worker.
+    pub fn send_clean(&self, pages: Vec<PageId>) {
+        let _ = self.sender.send(WorkerRequest::Clean { pages });
+    }
+
+    /// Quiesce the worker: returns a sender that resumes it when dropped or
+    /// signalled.
+    pub fn quiesce(&self) -> Sender<()> {
+        let (ack_tx, ack_rx) = bounded(1);
+        let (resume_tx, resume_rx) = bounded(1);
+        self.sender
+            .send(WorkerRequest::Quiesce {
+                ack: ack_tx,
+                resume: resume_rx,
+            })
+            .expect("worker alive");
+        ack_rx.recv().expect("quiesce ack");
+        resume_tx
+    }
+
+    /// Ask the worker to shut down and join its thread.
+    pub fn shutdown(&mut self) {
+        let _ = self.sender.send(WorkerRequest::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(db: Arc<Database>, design: Design, token: OwnerToken, rx: Receiver<WorkerRequest>) {
+    let mut local_locks = LocalLockTable::new();
+    let cleaner = PageCleaner::new(db.pool().clone());
+    while let Ok(req) = rx.recv() {
+        match req {
+            WorkerRequest::Action { txn_id, run, reply } => {
+                let mut ctx = PartitionCtx::new(&db, design, token, &mut local_locks, txn_id);
+                let result = run(&mut ctx);
+                let log = ctx.take_log();
+                // The reply is the worker's half of the message-passing pair.
+                db.stats().cs().enter(CsCategory::MessagePassing, false);
+                let _ = reply.send(ActionReply { result, log });
+            }
+            WorkerRequest::Clean { pages } => {
+                cleaner.clean_owned(token, &pages);
+            }
+            WorkerRequest::Quiesce { ack, resume } => {
+                let _ = ack.send(());
+                // Block until the repartitioning coordinator releases us.
+                let _ = resume.recv();
+            }
+            WorkerRequest::Shutdown => break,
+        }
+    }
+}

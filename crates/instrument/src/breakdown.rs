@@ -1,0 +1,212 @@
+//! Per-transaction wall-clock time breakdowns (Figures 6, 7 and 10).
+//!
+//! The paper profiles where transaction time goes: acquiring latches
+//! (uncontended cost), waiting on *contended* index or heap latches, waiting
+//! on structure-modification operations, waiting on locks, waiting on the log,
+//! and "other" (useful work).  A [`TimeBreakdown`] accumulates nanoseconds per
+//! bucket across all transactions of a run; dividing by the number of
+//! committed transactions reproduces the per-transaction stacked bars.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A bucket of the per-transaction time breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum TimeBucket {
+    /// Cost of acquiring (uncontended) page latches.
+    Latching = 0,
+    /// Time spent waiting on contended index-page latches.
+    IdxLatchContention = 1,
+    /// Time spent waiting on contended heap-page latches.
+    HeapLatchContention = 2,
+    /// Time blocked behind structure-modification operations (SMO mutex).
+    SmoWait = 3,
+    /// Time spent waiting for database locks.
+    LockWait = 4,
+    /// Time spent in the log manager (insert + commit flush wait).
+    LogWait = 5,
+    /// Everything else: the useful work of the transaction.
+    Other = 6,
+}
+
+impl TimeBucket {
+    pub const ALL: [TimeBucket; 7] = [
+        TimeBucket::Latching,
+        TimeBucket::IdxLatchContention,
+        TimeBucket::HeapLatchContention,
+        TimeBucket::SmoWait,
+        TimeBucket::LockWait,
+        TimeBucket::LogWait,
+        TimeBucket::Other,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TimeBucket::Latching => "Latching",
+            TimeBucket::IdxLatchContention => "Idx Latch Cont.",
+            TimeBucket::HeapLatchContention => "Heap Latch Cont.",
+            TimeBucket::SmoWait => "SMO wait",
+            TimeBucket::LockWait => "Lock wait",
+            TimeBucket::LogWait => "Log wait",
+            TimeBucket::Other => "Other",
+        }
+    }
+}
+
+const N_BUCKETS: usize = 7;
+
+/// Accumulated nanoseconds per [`TimeBucket`] plus a transaction count.
+#[derive(Debug, Default)]
+pub struct TimeBreakdown {
+    nanos: [AtomicU64; N_BUCKETS],
+    txns: AtomicU64,
+}
+
+impl TimeBreakdown {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add(&self, bucket: TimeBucket, d: Duration) {
+        self.nanos[bucket as usize].fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_nanos(&self, bucket: TimeBucket, nanos: u64) {
+        self.nanos[bucket as usize].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record that one more transaction contributed to the breakdown.  The
+    /// `total` duration of the transaction is attributed to [`TimeBucket::Other`]
+    /// *minus* whatever has been recorded in the explicit buckets is computed at
+    /// snapshot time, so callers simply pass the wall-clock transaction time.
+    #[inline]
+    pub fn finish_txn(&self, total: Duration) {
+        self.txns.fetch_add(1, Ordering::Relaxed);
+        self.nanos[TimeBucket::Other as usize]
+            .fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> BreakdownSnapshot {
+        let mut nanos = [0u64; N_BUCKETS];
+        for i in 0..N_BUCKETS {
+            nanos[i] = self.nanos[i].load(Ordering::Relaxed);
+        }
+        // "Other" was accumulated as *total* transaction time; subtract the
+        // explicitly-attributed buckets so the stack adds up to the total.
+        let explicit: u64 = nanos[..N_BUCKETS - 1].iter().sum();
+        nanos[TimeBucket::Other as usize] =
+            nanos[TimeBucket::Other as usize].saturating_sub(explicit);
+        BreakdownSnapshot {
+            nanos,
+            txns: self.txns.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        for i in 0..N_BUCKETS {
+            self.nanos[i].store(0, Ordering::Relaxed);
+        }
+        self.txns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable copy of a [`TimeBreakdown`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BreakdownSnapshot {
+    nanos: [u64; N_BUCKETS],
+    txns: u64,
+}
+
+impl BreakdownSnapshot {
+    pub fn nanos(&self, bucket: TimeBucket) -> u64 {
+        self.nanos[bucket as usize]
+    }
+
+    pub fn txns(&self) -> u64 {
+        self.txns
+    }
+
+    /// Microseconds spent in `bucket` per committed transaction.
+    pub fn micros_per_txn(&self, bucket: TimeBucket) -> f64 {
+        self.nanos[bucket as usize] as f64 / 1_000.0 / self.txns.max(1) as f64
+    }
+
+    /// Total microseconds per transaction across all buckets.
+    pub fn total_micros_per_txn(&self) -> f64 {
+        TimeBucket::ALL
+            .iter()
+            .map(|&b| self.micros_per_txn(b))
+            .sum()
+    }
+
+    /// Fraction of total time spent in `bucket` (0.0 if nothing recorded).
+    pub fn fraction(&self, bucket: TimeBucket) -> f64 {
+        let total: u64 = self.nanos.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.nanos[bucket as usize] as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_sum_to_total() {
+        let b = TimeBreakdown::new();
+        b.add(TimeBucket::IdxLatchContention, Duration::from_micros(30));
+        b.add(TimeBucket::Latching, Duration::from_micros(10));
+        b.finish_txn(Duration::from_micros(100));
+        let s = b.snapshot();
+        assert_eq!(s.txns(), 1);
+        assert_eq!(s.nanos(TimeBucket::IdxLatchContention), 30_000);
+        assert_eq!(s.nanos(TimeBucket::Latching), 10_000);
+        // other = 100 - 30 - 10 = 60 micros
+        assert_eq!(s.nanos(TimeBucket::Other), 60_000);
+        assert!((s.total_micros_per_txn() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn other_never_goes_negative() {
+        let b = TimeBreakdown::new();
+        b.add(TimeBucket::LockWait, Duration::from_micros(500));
+        b.finish_txn(Duration::from_micros(100));
+        let s = b.snapshot();
+        assert_eq!(s.nanos(TimeBucket::Other), 0);
+    }
+
+    #[test]
+    fn fractions() {
+        let b = TimeBreakdown::new();
+        b.add(TimeBucket::HeapLatchContention, Duration::from_micros(50));
+        b.finish_txn(Duration::from_micros(100));
+        let s = b.snapshot();
+        assert!((s.fraction(TimeBucket::HeapLatchContention) - 0.5).abs() < 1e-9);
+        assert!((s.fraction(TimeBucket::Other) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = TimeBreakdown::new();
+        let s = b.snapshot();
+        assert_eq!(s.txns(), 0);
+        assert_eq!(s.total_micros_per_txn(), 0.0);
+        assert_eq!(s.fraction(TimeBucket::Other), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let b = TimeBreakdown::new();
+        b.finish_txn(Duration::from_micros(10));
+        b.reset();
+        let s = b.snapshot();
+        assert_eq!(s.txns(), 0);
+        assert_eq!(s.nanos(TimeBucket::Other), 0);
+    }
+}

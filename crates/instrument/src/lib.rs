@@ -1,0 +1,57 @@
+//! Instrumentation substrate for the PLP reproduction.
+//!
+//! The PLP paper (Pandis et al., VLDB 2011) argues about *communication
+//! patterns*: which critical sections a transaction enters, how contended they
+//! are, and how much wall-clock time is lost waiting on them.  Every figure in
+//! the paper's evaluation is ultimately a view over three kinds of counters:
+//!
+//! * **Critical-section counters** per storage-manager component
+//!   (Figure 1): lock manager, page latches, buffer pool, metadata/space
+//!   management, log manager, transaction manager, message passing.
+//! * **Page-latch counters** per page kind (Figures 2 and 3): index pages,
+//!   heap pages, catalog/space-management pages.
+//! * **Per-transaction time breakdowns** (Figures 6, 7 and 10): time spent
+//!   acquiring latches, waiting on contended index/heap latches, waiting on
+//!   SMOs, locks, the log, and everything else.
+//!
+//! This crate provides those counters.  Every other crate in the workspace
+//! takes a [`StatsRegistry`] handle and reports events into it; the benchmark
+//! harness snapshots registries and renders the paper's tables and figures.
+//!
+//! The counters are plain relaxed atomics: they are updated on hot paths by
+//! many threads, and the absolute precision of a counter is irrelevant — the
+//! paper reports counts per transaction aggregated over millions of events.
+
+pub mod breakdown;
+pub mod report;
+pub mod stats;
+pub mod sync;
+pub mod timer;
+
+pub use breakdown::{BreakdownSnapshot, TimeBreakdown, TimeBucket};
+pub use report::{format_table, Cell, Table};
+pub use stats::{
+    ContentionClass, CsCategory, CsStats, CsStatsSnapshot, LatchStats, LatchStatsSnapshot,
+    PageKind, StatsRegistry, StatsSnapshot,
+};
+pub use sync::{InstrumentedMutex, InstrumentedRwLock};
+pub use timer::ScopedTimer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn registry_roundtrip() {
+        let reg = Arc::new(StatsRegistry::new());
+        reg.cs().enter(CsCategory::LockMgr, false);
+        reg.cs().enter(CsCategory::PageLatch, true);
+        reg.latches().acquired(PageKind::Index, true);
+        let snap = reg.snapshot();
+        assert_eq!(snap.cs.entries(CsCategory::LockMgr), 1);
+        assert_eq!(snap.cs.entries(CsCategory::PageLatch), 1);
+        assert_eq!(snap.cs.contended(CsCategory::PageLatch), 1);
+        assert_eq!(snap.latches.acquired(PageKind::Index), 1);
+    }
+}

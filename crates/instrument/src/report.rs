@@ -1,0 +1,221 @@
+//! Plain-text table rendering for the benchmark harness.
+//!
+//! Every figure/table reproduction binary prints its rows through this module
+//! so the output format is uniform and easy to diff against the paper.
+
+use std::fmt::Write as _;
+
+/// A single table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    Text(String),
+    Int(i64),
+    Float(f64),
+    /// A float rendered with a fixed number of decimals.
+    FloatPrec(f64, usize),
+    Empty,
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => format!("{v}"),
+            Cell::Float(v) => {
+                if v.abs() >= 100.0 {
+                    format!("{v:.0}")
+                } else if v.abs() >= 1.0 {
+                    format!("{v:.2}")
+                } else {
+                    format!("{v:.4}")
+                }
+            }
+            Cell::FloatPrec(v, p) => format!("{v:.*}", p),
+            Cell::Empty => "-".to_string(),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        self.rows.push(row);
+    }
+
+    pub fn row(&mut self, cells: impl IntoIterator<Item = Cell>) {
+        self.rows.push(cells.into_iter().collect());
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table as column-aligned plain text.
+    pub fn render(&self) -> String {
+        format_table(self)
+    }
+
+    /// Render the table as GitHub-flavoured markdown (used for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "### {}\n", self.title);
+        }
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| c.render()).collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+}
+
+/// Render a [`Table`] with aligned columns.
+pub fn format_table(table: &Table) -> String {
+    let ncols = table
+        .headers
+        .len()
+        .max(table.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+    let mut widths = vec![0usize; ncols];
+    for (i, h) in table.headers.iter().enumerate() {
+        widths[i] = widths[i].max(h.len());
+    }
+    let rendered_rows: Vec<Vec<String>> = table
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.render()).collect())
+        .collect();
+    for row in &rendered_rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+
+    let mut out = String::new();
+    if !table.title.is_empty() {
+        let _ = writeln!(out, "== {} ==", table.title);
+    }
+    if !table.headers.is_empty() {
+        let header_line: Vec<String> = table
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+    }
+    for row in &rendered_rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["design", "tps"]);
+        t.row(vec![Cell::from("Conventional"), Cell::from(123u64)]);
+        t.row(vec![Cell::from("PLP"), Cell::from(456u64)]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("Conventional"));
+        assert!(s.contains("456"));
+        // Columns aligned: both rows have same offset for the tps column.
+        let lines: Vec<&str> = s.lines().collect();
+        let conv = lines.iter().find(|l| l.contains("Conventional")).unwrap();
+        let plp = lines.iter().find(|l| l.starts_with("PLP")).unwrap();
+        assert_eq!(conv.find("123"), plp.find("456"));
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let mut t = Table::new("md", &["a", "b"]);
+        t.row(vec![Cell::from(1u64), Cell::from(2u64)]);
+        let md = t.render_markdown();
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn cell_rendering() {
+        assert_eq!(Cell::from(3u64).render(), "3");
+        assert_eq!(Cell::Empty.render(), "-");
+        assert_eq!(Cell::FloatPrec(1.23456, 2).render(), "1.23");
+        assert_eq!(Cell::Float(0.5).render(), "0.5000");
+        assert_eq!(Cell::Float(12.5).render(), "12.50");
+        assert_eq!(Cell::Float(1200.0).render(), "1200");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("", &[]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().trim(), "");
+    }
+}

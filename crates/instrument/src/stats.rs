@@ -1,0 +1,588 @@
+//! Critical-section and page-latch counters.
+//!
+//! The categories mirror the breakdown used in Figure 1 of the paper ("CSs per
+//! transaction" by originating storage-manager service) and the page-kind
+//! breakdown used in Figures 2 and 3.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The storage-manager component that owns a critical section.
+///
+/// These are exactly the categories of Figure 1 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum CsCategory {
+    /// Centralized lock-manager critical sections (lock-head buckets, queues).
+    LockMgr = 0,
+    /// Page-latch acquisitions (index, heap and catalog pages).
+    PageLatch = 1,
+    /// Buffer-pool critical sections (frame-table buckets, cleaner handshakes).
+    Bpool = 2,
+    /// Catalog, free-space and other metadata latching.
+    Metadata = 3,
+    /// Log-manager critical sections (log-buffer inserts, flush handshakes).
+    LogMgr = 4,
+    /// Transaction-manager critical sections (txn object state transitions).
+    XctMgr = 5,
+    /// Message passing between the partition manager and worker threads.
+    MessagePassing = 6,
+    /// Everything else.
+    Uncategorized = 7,
+}
+
+impl CsCategory {
+    pub const ALL: [CsCategory; 8] = [
+        CsCategory::LockMgr,
+        CsCategory::PageLatch,
+        CsCategory::Bpool,
+        CsCategory::Metadata,
+        CsCategory::LogMgr,
+        CsCategory::XctMgr,
+        CsCategory::MessagePassing,
+        CsCategory::Uncategorized,
+    ];
+
+    /// The contention class the paper assigns to this kind of communication
+    /// (Section 2.1).
+    pub fn contention_class(self) -> ContentionClass {
+        match self {
+            CsCategory::LockMgr => ContentionClass::Unscalable,
+            CsCategory::PageLatch => ContentionClass::Unscalable,
+            CsCategory::Bpool => ContentionClass::Fixed,
+            CsCategory::Metadata => ContentionClass::Unscalable,
+            CsCategory::LogMgr => ContentionClass::Composable,
+            CsCategory::XctMgr => ContentionClass::Fixed,
+            CsCategory::MessagePassing => ContentionClass::Fixed,
+            CsCategory::Uncategorized => ContentionClass::Unscalable,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CsCategory::LockMgr => "Lock mgr",
+            CsCategory::PageLatch => "Page Latches",
+            CsCategory::Bpool => "Bpool",
+            CsCategory::Metadata => "Metadata",
+            CsCategory::LogMgr => "Log mgr",
+            CsCategory::XctMgr => "Xct mgr",
+            CsCategory::MessagePassing => "Message passing",
+            CsCategory::Uncategorized => "Uncategorized",
+        }
+    }
+}
+
+impl fmt::Display for CsCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The contention behaviour of a critical section (Section 2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentionClass {
+    /// Contention independent of hardware parallelism (e.g. producer/consumer
+    /// pairs, transaction-object state transitions).
+    Fixed,
+    /// Threads can aggregate their operations while queueing (e.g. Aether-style
+    /// consolidated log inserts).
+    Composable,
+    /// Contention grows with the number of threads; these become bottlenecks.
+    Unscalable,
+}
+
+impl ContentionClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            ContentionClass::Fixed => "fixed",
+            ContentionClass::Composable => "composable",
+            ContentionClass::Unscalable => "unscalable",
+        }
+    }
+}
+
+/// The kind of database page a latch protects (Figures 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum PageKind {
+    /// B+Tree / MRBTree interior and leaf pages.
+    Index = 0,
+    /// Heap-file pages holding non-clustered records.
+    Heap = 1,
+    /// Catalog, routing (partition-table) and free-space-management pages.
+    CatalogSpace = 2,
+}
+
+impl PageKind {
+    pub const ALL: [PageKind; 3] = [PageKind::Index, PageKind::Heap, PageKind::CatalogSpace];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PageKind::Index => "INDEX",
+            PageKind::Heap => "HEAP",
+            PageKind::CatalogSpace => "CATALOG/SPACE",
+        }
+    }
+
+    /// The critical-section category a latch on this page kind reports under.
+    pub fn cs_category(self) -> CsCategory {
+        match self {
+            PageKind::Index | PageKind::Heap => CsCategory::PageLatch,
+            PageKind::CatalogSpace => CsCategory::Metadata,
+        }
+    }
+}
+
+impl fmt::Display for PageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const N_CATEGORIES: usize = 8;
+const N_PAGE_KINDS: usize = 3;
+
+/// Critical-section entry counters, one slot per [`CsCategory`].
+#[derive(Debug, Default)]
+pub struct CsStats {
+    entries: [AtomicU64; N_CATEGORIES],
+    contended: [AtomicU64; N_CATEGORIES],
+}
+
+impl CsStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record entry into a critical section.  `contended` means the thread had
+    /// to wait (the try-acquire failed and it fell back to blocking).
+    #[inline]
+    pub fn enter(&self, cat: CsCategory, contended: bool) {
+        self.entries[cat as usize].fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.contended[cat as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` entries at once (used by composable critical sections where
+    /// one thread performs work on behalf of many).
+    #[inline]
+    pub fn enter_n(&self, cat: CsCategory, n: u64, contended: bool) {
+        self.entries[cat as usize].fetch_add(n, Ordering::Relaxed);
+        if contended {
+            self.contended[cat as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn snapshot(&self) -> CsStatsSnapshot {
+        let mut entries = [0u64; N_CATEGORIES];
+        let mut contended = [0u64; N_CATEGORIES];
+        for i in 0..N_CATEGORIES {
+            entries[i] = self.entries[i].load(Ordering::Relaxed);
+            contended[i] = self.contended[i].load(Ordering::Relaxed);
+        }
+        CsStatsSnapshot { entries, contended }
+    }
+
+    pub fn reset(&self) {
+        for i in 0..N_CATEGORIES {
+            self.entries[i].store(0, Ordering::Relaxed);
+            self.contended[i].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An immutable copy of [`CsStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CsStatsSnapshot {
+    entries: [u64; N_CATEGORIES],
+    contended: [u64; N_CATEGORIES],
+}
+
+impl CsStatsSnapshot {
+    pub fn entries(&self, cat: CsCategory) -> u64 {
+        self.entries[cat as usize]
+    }
+
+    pub fn contended(&self, cat: CsCategory) -> u64 {
+        self.contended[cat as usize]
+    }
+
+    pub fn total_entries(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+
+    pub fn total_contended(&self) -> u64 {
+        self.contended.iter().sum()
+    }
+
+    /// Total entries into critical sections whose contention class is
+    /// "unscalable" — the quantity PLP sets out to minimise.
+    pub fn unscalable_entries(&self) -> u64 {
+        CsCategory::ALL
+            .iter()
+            .filter(|c| c.contention_class() == ContentionClass::Unscalable)
+            .map(|&c| self.entries(c))
+            .sum()
+    }
+
+    /// Contended entries into unscalable critical sections — the paper's
+    /// headline "contentious critical sections" metric.
+    pub fn contentious(&self) -> u64 {
+        CsCategory::ALL
+            .iter()
+            .filter(|c| c.contention_class() == ContentionClass::Unscalable)
+            .map(|&c| self.contended(c))
+            .sum()
+    }
+
+    /// Difference between two snapshots (`self - earlier`), saturating at zero.
+    pub fn delta(&self, earlier: &CsStatsSnapshot) -> CsStatsSnapshot {
+        let mut out = CsStatsSnapshot::default();
+        for i in 0..N_CATEGORIES {
+            out.entries[i] = self.entries[i].saturating_sub(earlier.entries[i]);
+            out.contended[i] = self.contended[i].saturating_sub(earlier.contended[i]);
+        }
+        out
+    }
+
+    /// Scale every counter by `1 / divisor` producing per-transaction floats.
+    pub fn per_txn(&self, divisor: u64) -> Vec<(CsCategory, f64, f64)> {
+        let d = divisor.max(1) as f64;
+        CsCategory::ALL
+            .iter()
+            .map(|&c| (c, self.entries(c) as f64 / d, self.contended(c) as f64 / d))
+            .collect()
+    }
+}
+
+/// Page-latch acquisition counters broken down by page kind.
+#[derive(Debug, Default)]
+pub struct LatchStats {
+    acquired: [AtomicU64; N_PAGE_KINDS],
+    contended: [AtomicU64; N_PAGE_KINDS],
+    /// Latch acquisitions that were *skipped* because the access was latch-free
+    /// (PLP owner access).  Useful for sanity-checking the designs.
+    bypassed: [AtomicU64; N_PAGE_KINDS],
+    wait_nanos: [AtomicU64; N_PAGE_KINDS],
+}
+
+impl LatchStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn acquired(&self, kind: PageKind, contended: bool) {
+        self.acquired[kind as usize].fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.contended[kind as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn bypassed(&self, kind: PageKind) {
+        self.bypassed[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn waited(&self, kind: PageKind, nanos: u64) {
+        self.wait_nanos[kind as usize].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> LatchStatsSnapshot {
+        let mut acquired = [0u64; N_PAGE_KINDS];
+        let mut contended = [0u64; N_PAGE_KINDS];
+        let mut bypassed = [0u64; N_PAGE_KINDS];
+        let mut wait_nanos = [0u64; N_PAGE_KINDS];
+        for i in 0..N_PAGE_KINDS {
+            acquired[i] = self.acquired[i].load(Ordering::Relaxed);
+            contended[i] = self.contended[i].load(Ordering::Relaxed);
+            bypassed[i] = self.bypassed[i].load(Ordering::Relaxed);
+            wait_nanos[i] = self.wait_nanos[i].load(Ordering::Relaxed);
+        }
+        LatchStatsSnapshot {
+            acquired,
+            contended,
+            bypassed,
+            wait_nanos,
+        }
+    }
+
+    pub fn reset(&self) {
+        for i in 0..N_PAGE_KINDS {
+            self.acquired[i].store(0, Ordering::Relaxed);
+            self.contended[i].store(0, Ordering::Relaxed);
+            self.bypassed[i].store(0, Ordering::Relaxed);
+            self.wait_nanos[i].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An immutable copy of [`LatchStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatchStatsSnapshot {
+    acquired: [u64; N_PAGE_KINDS],
+    contended: [u64; N_PAGE_KINDS],
+    bypassed: [u64; N_PAGE_KINDS],
+    wait_nanos: [u64; N_PAGE_KINDS],
+}
+
+impl LatchStatsSnapshot {
+    pub fn acquired(&self, kind: PageKind) -> u64 {
+        self.acquired[kind as usize]
+    }
+
+    pub fn contended(&self, kind: PageKind) -> u64 {
+        self.contended[kind as usize]
+    }
+
+    pub fn bypassed(&self, kind: PageKind) -> u64 {
+        self.bypassed[kind as usize]
+    }
+
+    pub fn wait_nanos(&self, kind: PageKind) -> u64 {
+        self.wait_nanos[kind as usize]
+    }
+
+    pub fn total_acquired(&self) -> u64 {
+        self.acquired.iter().sum()
+    }
+
+    pub fn total_bypassed(&self) -> u64 {
+        self.bypassed.iter().sum()
+    }
+
+    pub fn delta(&self, earlier: &LatchStatsSnapshot) -> LatchStatsSnapshot {
+        let mut out = LatchStatsSnapshot::default();
+        for i in 0..N_PAGE_KINDS {
+            out.acquired[i] = self.acquired[i].saturating_sub(earlier.acquired[i]);
+            out.contended[i] = self.contended[i].saturating_sub(earlier.contended[i]);
+            out.bypassed[i] = self.bypassed[i].saturating_sub(earlier.bypassed[i]);
+            out.wait_nanos[i] = self.wait_nanos[i].saturating_sub(earlier.wait_nanos[i]);
+        }
+        out
+    }
+}
+
+/// Shared registry of all instrumentation counters for one engine instance.
+///
+/// Cloning the `Arc<StatsRegistry>` is how every component gains access; the
+/// registry itself is cheap (a few cache lines of atomics).
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    cs: CsStats,
+    latches: LatchStats,
+    committed_txns: AtomicU64,
+    aborted_txns: AtomicU64,
+    /// Structure-modification operations performed (page splits, slices, melds).
+    smo_count: AtomicU64,
+    /// Nanoseconds spent waiting to enter an SMO (the ARIES/KVL one-SMO-at-a-time
+    /// serialization the paper calls out; shown as "Latch-smo" in Figure 10).
+    smo_wait_nanos: AtomicU64,
+}
+
+impl StatsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    pub fn cs(&self) -> &CsStats {
+        &self.cs
+    }
+
+    pub fn latches(&self) -> &LatchStats {
+        &self.latches
+    }
+
+    #[inline]
+    pub fn txn_committed(&self) {
+        self.committed_txns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn txn_aborted(&self) {
+        self.aborted_txns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn committed(&self) -> u64 {
+        self.committed_txns.load(Ordering::Relaxed)
+    }
+
+    pub fn aborted(&self) -> u64 {
+        self.aborted_txns.load(Ordering::Relaxed)
+    }
+
+    /// Record one structure-modification operation and the time spent waiting
+    /// to be allowed to start it.
+    #[inline]
+    pub fn smo_performed(&self, wait_nanos: u64) {
+        self.smo_count.fetch_add(1, Ordering::Relaxed);
+        if wait_nanos > 0 {
+            self.smo_wait_nanos.fetch_add(wait_nanos, Ordering::Relaxed);
+        }
+    }
+
+    pub fn smo_count(&self) -> u64 {
+        self.smo_count.load(Ordering::Relaxed)
+    }
+
+    pub fn smo_wait_nanos(&self) -> u64 {
+        self.smo_wait_nanos.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            cs: self.cs.snapshot(),
+            latches: self.latches.snapshot(),
+            committed: self.committed(),
+            aborted: self.aborted(),
+            smo_count: self.smo_count(),
+            smo_wait_nanos: self.smo_wait_nanos(),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.cs.reset();
+        self.latches.reset();
+        self.committed_txns.store(0, Ordering::Relaxed);
+        self.aborted_txns.store(0, Ordering::Relaxed);
+        self.smo_count.store(0, Ordering::Relaxed);
+        self.smo_wait_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A consistent-enough snapshot of every counter in a [`StatsRegistry`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsSnapshot {
+    pub cs: CsStatsSnapshot,
+    pub latches: LatchStatsSnapshot,
+    pub committed: u64,
+    pub aborted: u64,
+    pub smo_count: u64,
+    pub smo_wait_nanos: u64,
+}
+
+impl StatsSnapshot {
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            cs: self.cs.delta(&earlier.cs),
+            latches: self.latches.delta(&earlier.latches),
+            committed: self.committed.saturating_sub(earlier.committed),
+            aborted: self.aborted.saturating_sub(earlier.aborted),
+            smo_count: self.smo_count.saturating_sub(earlier.smo_count),
+            smo_wait_nanos: self.smo_wait_nanos.saturating_sub(earlier.smo_wait_nanos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_classes_match_paper() {
+        assert_eq!(
+            CsCategory::LockMgr.contention_class(),
+            ContentionClass::Unscalable
+        );
+        assert_eq!(
+            CsCategory::PageLatch.contention_class(),
+            ContentionClass::Unscalable
+        );
+        assert_eq!(
+            CsCategory::LogMgr.contention_class(),
+            ContentionClass::Composable
+        );
+        assert_eq!(CsCategory::XctMgr.contention_class(), ContentionClass::Fixed);
+        assert_eq!(
+            CsCategory::MessagePassing.contention_class(),
+            ContentionClass::Fixed
+        );
+    }
+
+    #[test]
+    fn cs_stats_count_and_delta() {
+        let s = CsStats::new();
+        s.enter(CsCategory::LockMgr, false);
+        s.enter(CsCategory::LockMgr, true);
+        s.enter_n(CsCategory::LogMgr, 5, false);
+        let a = s.snapshot();
+        assert_eq!(a.entries(CsCategory::LockMgr), 2);
+        assert_eq!(a.contended(CsCategory::LockMgr), 1);
+        assert_eq!(a.entries(CsCategory::LogMgr), 5);
+        s.enter(CsCategory::LockMgr, false);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.entries(CsCategory::LockMgr), 1);
+        assert_eq!(d.entries(CsCategory::LogMgr), 0);
+    }
+
+    #[test]
+    fn contentious_counts_only_unscalable() {
+        let s = CsStats::new();
+        s.enter(CsCategory::LockMgr, true);
+        s.enter(CsCategory::XctMgr, true); // fixed: excluded
+        s.enter(CsCategory::LogMgr, true); // composable: excluded
+        s.enter(CsCategory::PageLatch, true);
+        let snap = s.snapshot();
+        assert_eq!(snap.contentious(), 2);
+        assert_eq!(snap.total_contended(), 4);
+    }
+
+    #[test]
+    fn latch_stats_by_kind() {
+        let l = LatchStats::new();
+        l.acquired(PageKind::Index, false);
+        l.acquired(PageKind::Index, true);
+        l.acquired(PageKind::Heap, false);
+        l.bypassed(PageKind::Index);
+        l.waited(PageKind::Heap, 1000);
+        let s = l.snapshot();
+        assert_eq!(s.acquired(PageKind::Index), 2);
+        assert_eq!(s.contended(PageKind::Index), 1);
+        assert_eq!(s.acquired(PageKind::Heap), 1);
+        assert_eq!(s.bypassed(PageKind::Index), 1);
+        assert_eq!(s.wait_nanos(PageKind::Heap), 1000);
+        assert_eq!(s.total_acquired(), 3);
+    }
+
+    #[test]
+    fn per_txn_normalisation() {
+        let s = CsStats::new();
+        s.enter_n(CsCategory::PageLatch, 100, false);
+        let snap = s.snapshot();
+        let rows = snap.per_txn(10);
+        let latch_row = rows
+            .iter()
+            .find(|(c, _, _)| *c == CsCategory::PageLatch)
+            .unwrap();
+        assert!((latch_row.1 - 10.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn registry_txn_counters() {
+        let r = StatsRegistry::new();
+        r.txn_committed();
+        r.txn_committed();
+        r.txn_aborted();
+        assert_eq!(r.committed(), 2);
+        assert_eq!(r.aborted(), 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.committed, 2);
+        r.reset();
+        assert_eq!(r.committed(), 0);
+    }
+
+    #[test]
+    fn page_kind_maps_to_cs_category() {
+        assert_eq!(PageKind::Index.cs_category(), CsCategory::PageLatch);
+        assert_eq!(PageKind::Heap.cs_category(), CsCategory::PageLatch);
+        assert_eq!(PageKind::CatalogSpace.cs_category(), CsCategory::Metadata);
+    }
+}

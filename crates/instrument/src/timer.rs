@@ -1,0 +1,90 @@
+//! Small timing helpers used on instrumented wait paths.
+
+use std::time::{Duration, Instant};
+
+use crate::breakdown::{TimeBreakdown, TimeBucket};
+
+/// Measures the elapsed time of a scope and reports it into a
+/// [`TimeBreakdown`] bucket when dropped.
+///
+/// ```
+/// use plp_instrument::{TimeBreakdown, TimeBucket, ScopedTimer};
+/// let bd = TimeBreakdown::new();
+/// {
+///     let _t = ScopedTimer::new(&bd, TimeBucket::LockWait);
+///     // ... blocking work ...
+/// }
+/// assert!(bd.snapshot().nanos(TimeBucket::LockWait) < 1_000_000_000);
+/// ```
+pub struct ScopedTimer<'a> {
+    breakdown: &'a TimeBreakdown,
+    bucket: TimeBucket,
+    start: Instant,
+    armed: bool,
+}
+
+impl<'a> ScopedTimer<'a> {
+    pub fn new(breakdown: &'a TimeBreakdown, bucket: TimeBucket) -> Self {
+        Self {
+            breakdown,
+            bucket,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Cancel the timer; nothing is reported on drop.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.breakdown.add(self.bucket, self.start.elapsed());
+        }
+    }
+}
+
+/// Time a closure and return its result along with the elapsed duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_timer_reports_on_drop() {
+        let bd = TimeBreakdown::new();
+        {
+            let _t = ScopedTimer::new(&bd, TimeBucket::LogWait);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(bd.snapshot().nanos(TimeBucket::LogWait) >= 1_000_000);
+    }
+
+    #[test]
+    fn cancelled_timer_reports_nothing() {
+        let bd = TimeBreakdown::new();
+        let t = ScopedTimer::new(&bd, TimeBucket::LockWait);
+        t.cancel();
+        assert_eq!(bd.snapshot().nanos(TimeBucket::LockWait), 0);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, d) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,132 @@
+//! Lock modes and the compatibility matrix.
+
+/// Hierarchical lock modes (subset of the ARIES/KVL mode lattice sufficient
+/// for the paper's workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Intention shared — taken on ancestors of an S lock.
+    IS,
+    /// Intention exclusive — taken on ancestors of an X lock.
+    IX,
+    /// Shared.
+    S,
+    /// Exclusive.
+    X,
+}
+
+impl LockMode {
+    pub const ALL: [LockMode; 4] = [LockMode::IS, LockMode::IX, LockMode::S, LockMode::X];
+
+    /// Classic compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        matches!(
+            (self, other),
+            (IS, IS) | (IS, IX) | (IS, S) | (IX, IS) | (IX, IX) | (S, IS) | (S, S)
+        )
+    }
+
+    /// Whether `self` already covers a request for `other` (i.e. a holder of
+    /// `self` does not need to re-acquire `other`).
+    pub fn covers(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (a, b) if a == b => true,
+            (X, _) => true,
+            (S, IS) => true,
+            (IX, IS) => true,
+            _ => false,
+        }
+    }
+
+    /// The least mode that grants both `self` and `other` (supremum in the
+    /// lock lattice restricted to our four modes).
+    pub fn combine(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (X, _) | (_, X) => X,
+            (S, IX) | (IX, S) => X, // SIX not modelled; escalate to X
+            (S, _) | (_, S) => S,
+            (IX, _) | (_, IX) => IX,
+            _ => IS,
+        }
+    }
+
+    /// Intention mode to take on ancestors of this mode.
+    pub fn intention(self) -> LockMode {
+        match self {
+            LockMode::S | LockMode::IS => LockMode::IS,
+            LockMode::X | LockMode::IX => LockMode::IX,
+        }
+    }
+
+    pub fn is_intention(self) -> bool {
+        matches!(self, LockMode::IS | LockMode::IX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    #[test]
+    fn compatibility_matrix() {
+        assert!(IS.compatible(IS));
+        assert!(IS.compatible(IX));
+        assert!(IS.compatible(S));
+        assert!(!IS.compatible(X));
+        assert!(IX.compatible(IX));
+        assert!(!IX.compatible(S));
+        assert!(!IX.compatible(X));
+        assert!(S.compatible(S));
+        assert!(!S.compatible(X));
+        assert!(!X.compatible(X));
+        // Symmetry.
+        for a in LockMode::ALL {
+            for b in LockMode::ALL {
+                assert_eq!(a.compatible(b), b.compatible(a), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn covers_relation() {
+        assert!(X.covers(S));
+        assert!(X.covers(IS));
+        assert!(S.covers(IS));
+        assert!(IX.covers(IS));
+        assert!(!IS.covers(S));
+        assert!(!S.covers(X));
+        assert!(!IX.covers(X));
+        for m in LockMode::ALL {
+            assert!(m.covers(m));
+        }
+    }
+
+    #[test]
+    fn combine_escalates() {
+        assert_eq!(S.combine(X), X);
+        assert_eq!(IS.combine(IX), IX);
+        assert_eq!(S.combine(IX), X);
+        assert_eq!(IS.combine(S), S);
+        for m in LockMode::ALL {
+            assert_eq!(m.combine(m), m);
+            // Combined mode covers both inputs.
+            assert!(m.combine(X) == X);
+        }
+    }
+
+    #[test]
+    fn intention_mapping() {
+        assert_eq!(S.intention(), IS);
+        assert_eq!(X.intention(), IX);
+        assert_eq!(IS.intention(), IS);
+        assert_eq!(IX.intention(), IX);
+        assert!(IS.is_intention() && IX.is_intention());
+        assert!(!S.is_intention() && !X.is_intention());
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared across the storage substrate.
+
+use std::fmt;
+
+use crate::page::PageId;
+use crate::rid::Rid;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The page does not exist in the buffer pool.
+    PageNotFound(PageId),
+    /// A record slot does not exist or has been deleted.
+    RecordNotFound(Rid),
+    /// The page does not have enough contiguous free space for the record.
+    PageFull { page: PageId, needed: usize, free: usize },
+    /// The record is larger than can ever fit in a page.
+    RecordTooLarge { size: usize, max: usize },
+    /// A latch-free (owner) access was attempted by a thread that does not own
+    /// the page's partition.
+    NotOwner { page: PageId },
+    /// An operation was attempted on a page of the wrong kind.
+    WrongPageKind(PageId),
+    /// Free-space bookkeeping is inconsistent (internal error).
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageNotFound(p) => write!(f, "page {p} not found"),
+            StorageError::RecordNotFound(r) => write!(f, "record {r} not found"),
+            StorageError::PageFull { page, needed, free } => {
+                write!(f, "page {page} full: needed {needed} bytes, {free} free")
+            }
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds maximum {max}")
+            }
+            StorageError::NotOwner { page } => {
+                write!(f, "latch-free access to page {page} by non-owner thread")
+            }
+            StorageError::WrongPageKind(p) => write!(f, "page {p} has unexpected kind"),
+            StorageError::Corrupt(msg) => write!(f, "storage corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::PageNotFound(PageId(7));
+        assert!(e.to_string().contains("7"));
+        let e = StorageError::PageFull {
+            page: PageId(1),
+            needed: 100,
+            free: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = StorageError::RecordNotFound(Rid::new(PageId(2), 3));
+        assert!(e.to_string().contains("2"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Fixed-size byte-addressed database pages.
+//!
+//! Every persistent structure in the system (B+Tree nodes, MRBTree routing
+//! pages, heap pages, free-space pages) is laid out inside an 8 KiB [`Page`].
+//! The page itself is a raw byte buffer plus typed accessors; higher layers
+//! (slotted pages, B+Tree nodes) impose structure on top of it.
+
+use std::fmt;
+
+/// Size of every database page in bytes (8 KiB, as in the paper's setup).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page.  Page ids are allocated densely by the buffer pool
+/// and never reused (the database is memory resident, so there is no need for
+/// a free list of page ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel "no page" value used in page chains and tree pointers.
+    pub const INVALID: PageId = PageId(u64::MAX);
+
+    pub fn is_valid(self) -> bool {
+        self != PageId::INVALID
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "P{}", self.0)
+        } else {
+            write!(f, "P<invalid>")
+        }
+    }
+}
+
+/// An 8 KiB page of raw bytes with little-endian typed accessors.
+pub struct Page {
+    bytes: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A zero-filled page.
+    pub fn new() -> Self {
+        Self {
+            bytes: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        }
+    }
+
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.bytes
+    }
+
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.bytes
+    }
+
+    pub fn slice(&self, offset: usize, len: usize) -> &[u8] {
+        &self.bytes[offset..offset + len]
+    }
+
+    pub fn slice_mut(&mut self, offset: usize, len: usize) -> &mut [u8] {
+        &mut self.bytes[offset..offset + len]
+    }
+
+    #[inline]
+    pub fn read_u16(&self, offset: usize) -> u16 {
+        u16::from_le_bytes(self.bytes[offset..offset + 2].try_into().unwrap())
+    }
+
+    #[inline]
+    pub fn write_u16(&mut self, offset: usize, v: u16) {
+        self.bytes[offset..offset + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn read_u32(&self, offset: usize) -> u32 {
+        u32::from_le_bytes(self.bytes[offset..offset + 4].try_into().unwrap())
+    }
+
+    #[inline]
+    pub fn write_u32(&mut self, offset: usize, v: u32) {
+        self.bytes[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[offset..offset + 8].try_into().unwrap())
+    }
+
+    #[inline]
+    pub fn write_u64(&mut self, offset: usize, v: u64) {
+        self.bytes[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn read_page_id(&self, offset: usize) -> PageId {
+        PageId(self.read_u64(offset))
+    }
+
+    #[inline]
+    pub fn write_page_id(&mut self, offset: usize, id: PageId) {
+        self.write_u64(offset, id.0);
+    }
+
+    pub fn read_bytes(&self, offset: usize, len: usize) -> &[u8] {
+        self.slice(offset, len)
+    }
+
+    pub fn write_bytes(&mut self, offset: usize, data: &[u8]) {
+        self.bytes[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Zero out the whole page (used when recycling pages during melds).
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+    }
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        let mut p = Page::new();
+        p.bytes.copy_from_slice(&self.bytes[..]);
+        p
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nonzero = self.bytes.iter().filter(|&&b| b != 0).count();
+        write!(f, "Page {{ nonzero_bytes: {nonzero} }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_sentinel() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+        assert_eq!(PageId(3).to_string(), "P3");
+        assert_eq!(PageId::INVALID.to_string(), "P<invalid>");
+    }
+
+    #[test]
+    fn typed_accessors_roundtrip() {
+        let mut p = Page::new();
+        p.write_u16(0, 0xBEEF);
+        p.write_u32(10, 0xDEADBEEF);
+        p.write_u64(100, u64::MAX - 1);
+        p.write_page_id(200, PageId(42));
+        assert_eq!(p.read_u16(0), 0xBEEF);
+        assert_eq!(p.read_u32(10), 0xDEADBEEF);
+        assert_eq!(p.read_u64(100), u64::MAX - 1);
+        assert_eq!(p.read_page_id(200), PageId(42));
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_clear() {
+        let mut p = Page::new();
+        p.write_bytes(4000, b"hello world");
+        assert_eq!(p.read_bytes(4000, 11), b"hello world");
+        p.clear();
+        assert_eq!(p.read_bytes(4000, 11), &[0u8; 11]);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut p = Page::new();
+        p.write_u64(0, 7);
+        let q = p.clone();
+        p.write_u64(0, 9);
+        assert_eq!(q.read_u64(0), 7);
+        assert_eq!(p.read_u64(0), 9);
+    }
+
+    #[test]
+    fn last_offsets_accessible() {
+        let mut p = Page::new();
+        p.write_u64(PAGE_SIZE - 8, 123);
+        assert_eq!(p.read_u64(PAGE_SIZE - 8), 123);
+        p.write_u16(PAGE_SIZE - 2, 9);
+        assert_eq!(p.read_u16(PAGE_SIZE - 2), 9);
+    }
+}

@@ -1,0 +1,88 @@
+//! Record identifiers.
+
+use std::fmt;
+
+use crate::page::PageId;
+
+/// A record identifier: (heap page, slot number).
+///
+/// RIDs are stored in non-clustered index leaf entries, packed into a single
+/// `u64` (48 bits of page id, 16 bits of slot), exactly because index entries
+/// in this reproduction carry fixed 8-byte values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+impl Rid {
+    /// Sentinel "no record" value.
+    pub const INVALID: Rid = Rid {
+        page: PageId::INVALID,
+        slot: u16::MAX,
+    };
+
+    pub fn new(page: PageId, slot: u16) -> Self {
+        Self { page, slot }
+    }
+
+    pub fn is_valid(self) -> bool {
+        self.page.is_valid()
+    }
+
+    /// Pack into a `u64` (page id must fit in 48 bits).
+    pub fn pack(self) -> u64 {
+        if !self.is_valid() {
+            return u64::MAX;
+        }
+        debug_assert!(self.page.0 < (1 << 48), "page id exceeds 48 bits");
+        (self.page.0 << 16) | self.slot as u64
+    }
+
+    /// Unpack from a `u64` produced by [`Rid::pack`].
+    pub fn unpack(v: u64) -> Self {
+        if v == u64::MAX {
+            return Rid::INVALID;
+        }
+        Rid {
+            page: PageId(v >> 16),
+            slot: (v & 0xFFFF) as u16,
+        }
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let r = Rid::new(PageId(123456), 789);
+        assert_eq!(Rid::unpack(r.pack()), r);
+    }
+
+    #[test]
+    fn invalid_roundtrip() {
+        assert_eq!(Rid::unpack(Rid::INVALID.pack()), Rid::INVALID);
+        assert!(!Rid::INVALID.is_valid());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rid::new(PageId(5), 2).to_string(), "P5:2");
+    }
+
+    #[test]
+    fn ordering_by_page_then_slot() {
+        let a = Rid::new(PageId(1), 10);
+        let b = Rid::new(PageId(2), 0);
+        let c = Rid::new(PageId(2), 5);
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,192 @@
+//! The transaction manager.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use plp_instrument::{CsCategory, StatsRegistry, TimeBreakdown};
+use plp_lock::LockManager;
+use plp_wal::LogManager;
+
+use crate::xct::{Transaction, TxnState};
+
+/// Allocates transaction ids, tracks begin/commit/abort transitions and drives
+/// the commit protocol (commit log record, lock release).
+pub struct TxnManager {
+    next_id: AtomicU64,
+    log: Arc<LogManager>,
+    stats: Arc<StatsRegistry>,
+}
+
+impl TxnManager {
+    pub fn new(log: Arc<LogManager>, stats: Arc<StatsRegistry>) -> Self {
+        Self {
+            // Id 0 is reserved; very high ids are reserved for SLI agents.
+            next_id: AtomicU64::new(1),
+            log,
+            stats,
+        }
+    }
+
+    pub fn stats(&self) -> &Arc<StatsRegistry> {
+        &self.stats
+    }
+
+    pub fn log_manager(&self) -> &Arc<LogManager> {
+        &self.log
+    }
+
+    /// Begin a new transaction.  The state transition on the transaction
+    /// object is a fixed-contention critical section (Figure 1, "Xct mgr").
+    pub fn begin(&self) -> Transaction {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.stats.cs().enter(CsCategory::XctMgr, false);
+        Transaction::new(id, self.log.begin(id))
+    }
+
+    /// Commit: write the commit record (flushing per the log manager's
+    /// durability mode), release central locks, flip the state.
+    ///
+    /// `locks` is the central lock manager to release against; partitioned
+    /// designs pass `None` because their workers used thread-local tables.
+    pub fn commit_with(
+        &self,
+        txn: &mut Transaction,
+        locks: Option<&LockManager>,
+        breakdown: Option<&TimeBreakdown>,
+    ) {
+        assert!(txn.is_active(), "commit of a finished transaction");
+        // One critical section per attached action to serialise the state
+        // transition against action-completion notifications (fixed
+        // contention: only the transaction's own actions participate).
+        self.stats
+            .cs()
+            .enter_n(CsCategory::XctMgr, txn.action_count() as u64, false);
+        match breakdown {
+            Some(bd) => {
+                self.log.commit_with_breakdown(txn.log_handle_mut(), bd);
+            }
+            None => {
+                self.log.commit(txn.log_handle_mut());
+            }
+        }
+        let held = txn.take_locks();
+        if let Some(lm) = locks {
+            if !held.is_empty() {
+                lm.release_all(txn.id(), &held);
+            }
+        }
+        txn.set_state(TxnState::Committed);
+        self.stats.txn_committed();
+    }
+
+    /// Convenience wrapper for `commit_with(txn, None, None)`.
+    pub fn commit(&self, txn: &mut Transaction) {
+        self.commit_with(txn, None, None);
+    }
+
+    /// Abort: write the abort record, release locks, flip the state.  (The
+    /// reproduction does not implement undo — no experiment in the paper
+    /// exercises rollback of applied changes; aborts happen only on lock
+    /// timeouts before any physical change was applied.)
+    pub fn abort_with(&self, txn: &mut Transaction, locks: Option<&LockManager>) {
+        assert!(txn.is_active(), "abort of a finished transaction");
+        self.stats.cs().enter(CsCategory::XctMgr, false);
+        self.log.abort(txn.log_handle_mut());
+        let held = txn.take_locks();
+        if let Some(lm) = locks {
+            if !held.is_empty() {
+                lm.release_all(txn.id(), &held);
+            }
+        }
+        txn.set_state(TxnState::Aborted);
+        self.stats.txn_aborted();
+    }
+
+    pub fn abort(&self, txn: &mut Transaction) {
+        self.abort_with(txn, None);
+    }
+}
+
+impl std::fmt::Debug for TxnManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnManager")
+            .field("next_id", &self.next_id.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plp_lock::{LockId, LockMode};
+    use plp_wal::{DurabilityMode, InsertProtocol};
+
+    fn setup() -> (Arc<StatsRegistry>, Arc<LockManager>, TxnManager) {
+        let stats = StatsRegistry::new_shared();
+        let log = Arc::new(LogManager::new(
+            InsertProtocol::Consolidated,
+            DurabilityMode::Lazy,
+            stats.clone(),
+        ));
+        let locks = Arc::new(LockManager::new(stats.clone()));
+        (stats.clone(), locks, TxnManager::new(log, stats))
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let (_s, _l, mgr) = setup();
+        let a = mgr.begin();
+        let b = mgr.begin();
+        assert!(b.id() > a.id());
+    }
+
+    #[test]
+    fn commit_releases_central_locks() {
+        let (stats, locks, mgr) = setup();
+        let mut txn = mgr.begin();
+        let acquired = locks
+            .acquire_hierarchical(txn.id(), LockId::Key(1, 9), LockMode::X, None)
+            .unwrap();
+        txn.record_locks(acquired.into_iter().map(|(id, _)| id));
+        assert_eq!(locks.live_heads(), 3);
+        txn.log_update(5, 32);
+        mgr.commit_with(&mut txn, Some(&locks), None);
+        assert_eq!(locks.live_heads(), 0);
+        assert_eq!(txn.state(), TxnState::Committed);
+        assert_eq!(stats.committed(), 1);
+        assert_eq!(stats.aborted(), 0);
+    }
+
+    #[test]
+    fn abort_releases_locks_and_counts() {
+        let (stats, locks, mgr) = setup();
+        let mut txn = mgr.begin();
+        let acquired = locks
+            .acquire_hierarchical(txn.id(), LockId::Key(1, 9), LockMode::S, None)
+            .unwrap();
+        txn.record_locks(acquired.into_iter().map(|(id, _)| id));
+        mgr.abort_with(&mut txn, Some(&locks));
+        assert_eq!(locks.live_heads(), 0);
+        assert_eq!(txn.state(), TxnState::Aborted);
+        assert_eq!(stats.aborted(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished transaction")]
+    fn double_commit_panics() {
+        let (_s, _l, mgr) = setup();
+        let mut txn = mgr.begin();
+        mgr.commit(&mut txn);
+        mgr.commit(&mut txn);
+    }
+
+    #[test]
+    fn xct_manager_cs_scale_with_action_count() {
+        let (stats, _l, mgr) = setup();
+        let mut txn = mgr.begin();
+        txn.set_action_count(4);
+        mgr.commit(&mut txn);
+        // 1 (begin) + 4 (commit, one per action rendezvous).
+        assert_eq!(stats.snapshot().cs.entries(CsCategory::XctMgr), 5);
+    }
+}

@@ -1,0 +1,171 @@
+//! The transaction object.
+
+use plp_lock::LockId;
+use plp_wal::{LogRecordKind, TxnLogHandle};
+
+/// Transaction identifier.
+pub type TxnId = u64;
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// A transaction: identity, state, the central locks it holds (empty for the
+/// partitioned designs, which use thread-local lock tables instead) and its
+/// staged log records.
+#[derive(Debug)]
+pub struct Transaction {
+    id: TxnId,
+    state: TxnState,
+    /// Locks acquired from the *central* lock manager that must be released at
+    /// the end of the transaction.  SLI-inherited locks are not listed here —
+    /// the agent keeps them.
+    held_locks: Vec<LockId>,
+    log: TxnLogHandle,
+    /// Number of actions this transaction was decomposed into (1 for the
+    /// conventional design, >= 1 for the partitioned designs).
+    actions: u32,
+}
+
+impl Transaction {
+    pub(crate) fn new(id: TxnId, log: TxnLogHandle) -> Self {
+        Self {
+            id,
+            state: TxnState::Active,
+            held_locks: Vec::new(),
+            log,
+            actions: 1,
+        }
+    }
+
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    pub fn state(&self) -> TxnState {
+        self.state
+    }
+
+    pub(crate) fn set_state(&mut self, state: TxnState) {
+        self.state = state;
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.state == TxnState::Active
+    }
+
+    // ------------------------------------------------------------------
+    // Lock bookkeeping (central lock manager designs only)
+    // ------------------------------------------------------------------
+
+    /// Remember a central lock so it is released at commit/abort.
+    pub fn record_lock(&mut self, id: LockId) {
+        if !self.held_locks.contains(&id) {
+            self.held_locks.push(id);
+        }
+    }
+
+    pub fn record_locks(&mut self, ids: impl IntoIterator<Item = LockId>) {
+        for id in ids {
+            self.record_lock(id);
+        }
+    }
+
+    pub fn held_locks(&self) -> &[LockId] {
+        &self.held_locks
+    }
+
+    pub(crate) fn take_locks(&mut self) -> Vec<LockId> {
+        std::mem::take(&mut self.held_locks)
+    }
+
+    // ------------------------------------------------------------------
+    // Logging
+    // ------------------------------------------------------------------
+
+    pub fn log_handle_mut(&mut self) -> &mut TxnLogHandle {
+        &mut self.log
+    }
+
+    /// Convenience wrappers used by the engines' data-access layer.  Under the
+    /// consolidated protocol these only stage records locally.
+    pub fn log_insert(&mut self, page: u64, payload: u32) {
+        self.log.log(LogRecordKind::Insert, page, payload);
+    }
+
+    pub fn log_update(&mut self, page: u64, payload: u32) {
+        self.log.log(LogRecordKind::Update, page, payload);
+    }
+
+    pub fn log_delete(&mut self, page: u64, payload: u32) {
+        self.log.log(LogRecordKind::Delete, page, payload);
+    }
+
+    pub fn records_logged(&self) -> u64 {
+        self.log.records_logged()
+    }
+
+    // ------------------------------------------------------------------
+    // Action bookkeeping (partitioned designs)
+    // ------------------------------------------------------------------
+
+    pub fn set_action_count(&mut self, n: u32) {
+        self.actions = n.max(1);
+    }
+
+    pub fn action_count(&self) -> u32 {
+        self.actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plp_wal::{DurabilityMode, InsertProtocol, LogManager};
+
+    fn txn() -> Transaction {
+        let log = LogManager::new(
+            InsertProtocol::Consolidated,
+            DurabilityMode::Lazy,
+            plp_instrument::StatsRegistry::new_shared(),
+        );
+        Transaction::new(42, log.begin(42))
+    }
+
+    #[test]
+    fn lock_bookkeeping_dedups() {
+        let mut t = txn();
+        t.record_lock(LockId::Table(1));
+        t.record_lock(LockId::Table(1));
+        t.record_lock(LockId::Key(1, 5));
+        assert_eq!(t.held_locks().len(), 2);
+        let taken = t.take_locks();
+        assert_eq!(taken.len(), 2);
+        assert!(t.held_locks().is_empty());
+    }
+
+    #[test]
+    fn logging_wrappers_stage_records() {
+        let mut t = txn();
+        t.log_insert(1, 100);
+        t.log_update(2, 50);
+        t.log_delete(3, 10);
+        assert_eq!(t.records_logged(), 3);
+    }
+
+    #[test]
+    fn action_count_is_at_least_one() {
+        let mut t = txn();
+        assert_eq!(t.action_count(), 1);
+        t.set_action_count(0);
+        assert_eq!(t.action_count(), 1);
+        t.set_action_count(4);
+        assert_eq!(t.action_count(), 4);
+        assert_eq!(t.id(), 42);
+        assert!(t.is_active());
+    }
+}

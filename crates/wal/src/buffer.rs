@@ -1,0 +1,198 @@
+//! The central log buffer.
+//!
+//! The buffer is the classic single point of serialization in a
+//! shared-everything engine: every transaction's log records must be appended
+//! to one totally-ordered stream.  The paper assumes the Aether optimizations
+//! that make this critical section *composable*; the reproduction exposes both
+//! the unoptimized ("one critical section per record") and the consolidated
+//! ("one critical section per batch") protocols so the benchmark harness can
+//! show the difference.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use plp_instrument::{CsCategory, InstrumentedMutex, StatsRegistry};
+
+use crate::record::{LogRecord, Lsn};
+
+/// How log records reach the central buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertProtocol {
+    /// Every record insert takes the buffer mutex (pre-Aether behaviour).
+    Baseline,
+    /// Records are staged per transaction and inserted as one batch at commit
+    /// (Aether-style consolidation at transaction granularity).
+    Consolidated,
+}
+
+struct BufferInner {
+    /// Records appended but not yet "flushed" (drained by the group-commit
+    /// daemon).  Flushed records are discarded — the reproduction never
+    /// replays the log, it only measures its critical sections and volume.
+    pending: VecDeque<LogRecord>,
+    tail_lsn: Lsn,
+    total_records: u64,
+    total_bytes: u64,
+}
+
+/// The shared, totally-ordered log buffer.
+pub struct LogBuffer {
+    inner: InstrumentedMutex<BufferInner>,
+}
+
+impl LogBuffer {
+    pub fn new(stats: Arc<StatsRegistry>) -> Self {
+        Self {
+            inner: InstrumentedMutex::new(
+                BufferInner {
+                    pending: VecDeque::new(),
+                    tail_lsn: Lsn(1),
+                    total_records: 0,
+                    total_bytes: 0,
+                },
+                CsCategory::LogMgr,
+                stats,
+            ),
+        }
+    }
+
+    /// Append a single record (baseline protocol).  Returns its assigned LSN
+    /// and the nanoseconds spent waiting for the buffer mutex.
+    pub fn append_one(&self, mut record: LogRecord) -> (Lsn, u64) {
+        let (mut g, waited) = self.inner.lock();
+        record.lsn = g.tail_lsn;
+        g.tail_lsn = g.tail_lsn.advance(record.size_bytes());
+        g.total_records += 1;
+        g.total_bytes += record.size_bytes();
+        g.pending.push_back(record);
+        (record.lsn, waited)
+    }
+
+    /// Append a batch of records in one critical section (consolidated
+    /// protocol).  Returns the LSN of the *last* record in the batch and the
+    /// wait time for the mutex.
+    pub fn append_batch(&self, records: &mut [LogRecord]) -> (Lsn, u64) {
+        if records.is_empty() {
+            return (Lsn::ZERO, 0);
+        }
+        let (mut g, waited) = self.inner.lock();
+        let mut last = Lsn::ZERO;
+        for r in records.iter_mut() {
+            r.lsn = g.tail_lsn;
+            g.tail_lsn = g.tail_lsn.advance(r.size_bytes());
+            g.total_records += 1;
+            g.total_bytes += r.size_bytes();
+            g.pending.push_back(*r);
+            last = r.lsn;
+        }
+        (last, waited)
+    }
+
+    /// Drain everything pending (called by the group-commit flusher).  Returns
+    /// the durable LSN high-water mark after the drain and how many records
+    /// were drained.
+    pub fn drain(&self) -> (Lsn, usize) {
+        let mut g = self.inner.lock_uninstrumented();
+        let n = g.pending.len();
+        g.pending.clear();
+        (g.tail_lsn, n)
+    }
+
+    /// Current tail (next) LSN.
+    pub fn tail_lsn(&self) -> Lsn {
+        let g = self.inner.lock_uninstrumented();
+        g.tail_lsn
+    }
+
+    /// Number of records ever appended.
+    pub fn total_records(&self) -> u64 {
+        let g = self.inner.lock_uninstrumented();
+        g.total_records
+    }
+
+    /// Total log volume in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        let g = self.inner.lock_uninstrumented();
+        g.total_bytes
+    }
+
+    /// Number of records waiting to be flushed.
+    pub fn pending_records(&self) -> usize {
+        let g = self.inner.lock_uninstrumented();
+        g.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LogRecordKind;
+
+    fn buffer() -> (Arc<StatsRegistry>, LogBuffer) {
+        let stats = StatsRegistry::new_shared();
+        let buf = LogBuffer::new(stats.clone());
+        (stats, buf)
+    }
+
+    #[test]
+    fn lsns_are_monotone_and_sized() {
+        let (_s, b) = buffer();
+        let (l1, _) = b.append_one(LogRecord::new(1, LogRecordKind::Insert, 5, 100));
+        let (l2, _) = b.append_one(LogRecord::new(1, LogRecordKind::Insert, 5, 100));
+        assert!(l2 > l1);
+        assert_eq!(l2.0 - l1.0, 148);
+        assert_eq!(b.total_records(), 2);
+        assert_eq!(b.total_bytes(), 296);
+    }
+
+    #[test]
+    fn batch_assigns_contiguous_lsns() {
+        let (_s, b) = buffer();
+        let mut batch = vec![
+            LogRecord::new(2, LogRecordKind::Update, 1, 10),
+            LogRecord::new(2, LogRecordKind::Update, 2, 10),
+            LogRecord::new(2, LogRecordKind::Commit, 0, 0),
+        ];
+        let (last, _) = b.append_batch(&mut batch);
+        assert_eq!(last, batch[2].lsn);
+        assert!(batch[0].lsn < batch[1].lsn && batch[1].lsn < batch[2].lsn);
+        assert_eq!(b.pending_records(), 3);
+    }
+
+    #[test]
+    fn empty_batch_is_noop_cs_free() {
+        let (s, b) = buffer();
+        let before = s.snapshot().cs.entries(CsCategory::LogMgr);
+        let (lsn, _) = b.append_batch(&mut []);
+        assert_eq!(lsn, Lsn::ZERO);
+        assert_eq!(s.snapshot().cs.entries(CsCategory::LogMgr), before);
+    }
+
+    #[test]
+    fn drain_clears_pending_keeps_totals() {
+        let (_s, b) = buffer();
+        b.append_one(LogRecord::new(1, LogRecordKind::Insert, 1, 8));
+        b.append_one(LogRecord::new(1, LogRecordKind::Commit, 0, 0));
+        let (durable, n) = b.drain();
+        assert_eq!(n, 2);
+        assert_eq!(durable, b.tail_lsn());
+        assert_eq!(b.pending_records(), 0);
+        assert_eq!(b.total_records(), 2);
+    }
+
+    #[test]
+    fn baseline_counts_one_cs_per_record_batch_counts_one() {
+        let (s, b) = buffer();
+        for _ in 0..10 {
+            b.append_one(LogRecord::new(1, LogRecordKind::Update, 1, 8));
+        }
+        let after_singles = s.snapshot().cs.entries(CsCategory::LogMgr);
+        assert_eq!(after_singles, 10);
+        let mut batch: Vec<LogRecord> = (0..10)
+            .map(|_| LogRecord::new(2, LogRecordKind::Update, 1, 8))
+            .collect();
+        b.append_batch(&mut batch);
+        let after_batch = s.snapshot().cs.entries(CsCategory::LogMgr);
+        assert_eq!(after_batch, 11);
+    }
+}

@@ -1,0 +1,402 @@
+//! The log manager: per-transaction log handles, commit processing and the
+//! group-commit flusher.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use plp_instrument::{CsCategory, StatsRegistry, TimeBreakdown, TimeBucket};
+
+use crate::buffer::{InsertProtocol, LogBuffer};
+use crate::record::{LogRecord, LogRecordKind, Lsn};
+
+/// Whether commits wait for the group-commit flusher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// Commit returns as soon as the commit record is in the log buffer
+    /// ("lazy" / asynchronous commit).  This is the default for contention
+    /// experiments: the paper's evaluation is memory resident and focuses on
+    /// critical-section behaviour, not commit latency.
+    Lazy,
+    /// Commit blocks until the flusher has drained past the commit record.
+    Synchronous,
+}
+
+/// Per-transaction logging state.
+///
+/// With the consolidated protocol, records accumulate here and hit the shared
+/// buffer exactly once, at commit/abort time.
+#[derive(Debug)]
+pub struct TxnLogHandle {
+    txn_id: u64,
+    staged: Vec<LogRecord>,
+    last_lsn: Lsn,
+    records_logged: u64,
+}
+
+impl TxnLogHandle {
+    fn new(txn_id: u64) -> Self {
+        Self {
+            txn_id,
+            staged: Vec::new(),
+            last_lsn: Lsn::ZERO,
+            records_logged: 0,
+        }
+    }
+
+    pub fn txn_id(&self) -> u64 {
+        self.txn_id
+    }
+
+    pub fn last_lsn(&self) -> Lsn {
+        self.last_lsn
+    }
+
+    pub fn records_logged(&self) -> u64 {
+        self.records_logged
+    }
+
+    /// Stage or append a log record describing a change to `page` with a
+    /// payload of `payload_len` bytes.  (Binding to the owning [`LogManager`]
+    /// happens through [`LogManager::log`] / the convenience method below.)
+    pub fn log(&mut self, kind: LogRecordKind, page: u64, payload_len: u32) {
+        self.staged.push(LogRecord::new(self.txn_id, kind, page, payload_len));
+        self.records_logged += 1;
+    }
+}
+
+struct FlusherState {
+    durable_lsn: Mutex<Lsn>,
+    flushed: Condvar,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The log manager.
+pub struct LogManager {
+    buffer: LogBuffer,
+    protocol: InsertProtocol,
+    durability: DurabilityMode,
+    stats: Arc<StatsRegistry>,
+    next_txn_first_lsn: AtomicU64,
+    flusher: Arc<FlusherState>,
+    flusher_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl LogManager {
+    pub fn new(
+        protocol: InsertProtocol,
+        durability: DurabilityMode,
+        stats: Arc<StatsRegistry>,
+    ) -> Self {
+        Self {
+            buffer: LogBuffer::new(stats.clone()),
+            protocol,
+            durability,
+            stats,
+            next_txn_first_lsn: AtomicU64::new(1),
+            flusher: Arc::new(FlusherState {
+                durable_lsn: Mutex::new(Lsn::ZERO),
+                flushed: Condvar::new(),
+                wakeup: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            flusher_thread: Mutex::new(None),
+        }
+    }
+
+    pub fn protocol(&self) -> InsertProtocol {
+        self.protocol
+    }
+
+    pub fn durability(&self) -> DurabilityMode {
+        self.durability
+    }
+
+    pub fn stats(&self) -> &Arc<StatsRegistry> {
+        &self.stats
+    }
+
+    /// Begin logging for a new transaction.
+    pub fn begin(&self, txn_id: u64) -> TxnLogHandle {
+        self.next_txn_first_lsn.fetch_add(1, Ordering::Relaxed);
+        TxnLogHandle::new(txn_id)
+    }
+
+    /// Record a change.  Under the baseline protocol the record goes straight
+    /// to the shared buffer (one critical section); under the consolidated
+    /// protocol it is staged in the handle.
+    pub fn log(&self, handle: &mut TxnLogHandle, kind: LogRecordKind, page: u64, payload_len: u32) {
+        match self.protocol {
+            InsertProtocol::Baseline => {
+                let (lsn, _waited) =
+                    self.buffer
+                        .append_one(LogRecord::new(handle.txn_id, kind, page, payload_len));
+                handle.last_lsn = lsn;
+                handle.records_logged += 1;
+            }
+            InsertProtocol::Consolidated => handle.log(kind, page, payload_len),
+        }
+    }
+
+    fn finish(&self, handle: &mut TxnLogHandle, kind: LogRecordKind) -> Lsn {
+        match self.protocol {
+            InsertProtocol::Baseline => {
+                let (lsn, _) = self
+                    .buffer
+                    .append_one(LogRecord::new(handle.txn_id, kind, 0, 0));
+                handle.last_lsn = lsn;
+                lsn
+            }
+            InsertProtocol::Consolidated => {
+                handle.log(kind, 0, 0);
+                let (lsn, _) = self.buffer.append_batch(&mut handle.staged);
+                handle.staged.clear();
+                handle.last_lsn = lsn;
+                lsn
+            }
+        }
+    }
+
+    /// Write the commit record (and flush if durability is synchronous).
+    pub fn commit(&self, handle: &mut TxnLogHandle) -> Lsn {
+        let lsn = self.finish(handle, LogRecordKind::Commit);
+        self.wait_durable(lsn, None);
+        lsn
+    }
+
+    /// Commit and attribute any flush wait to a time-breakdown bucket.
+    pub fn commit_with_breakdown(&self, handle: &mut TxnLogHandle, bd: &TimeBreakdown) -> Lsn {
+        let lsn = self.finish(handle, LogRecordKind::Commit);
+        self.wait_durable(lsn, Some(bd));
+        lsn
+    }
+
+    /// Write the abort record.  Aborts never wait for durability.
+    pub fn abort(&self, handle: &mut TxnLogHandle) -> Lsn {
+        self.finish(handle, LogRecordKind::Abort)
+    }
+
+    fn wait_durable(&self, lsn: Lsn, bd: Option<&TimeBreakdown>) {
+        if self.durability == DurabilityMode::Lazy {
+            return;
+        }
+        let start = std::time::Instant::now();
+        // Waking the flusher and waiting on the flushed condition is the
+        // commit-side half of the group-commit handshake: one log-manager
+        // critical section regardless of how many records the txn wrote.
+        self.stats.cs().enter(CsCategory::LogMgr, false);
+        let mut durable = self.flusher.durable_lsn.lock();
+        self.flusher.wakeup.notify_one();
+        while *durable < lsn && !self.flusher.shutdown.load(Ordering::Acquire) {
+            self.flusher
+                .flushed
+                .wait_for(&mut durable, Duration::from_millis(5));
+            self.flusher.wakeup.notify_one();
+        }
+        if let Some(bd) = bd {
+            bd.add(TimeBucket::LogWait, start.elapsed());
+        }
+    }
+
+    /// Start the background group-commit flusher.  Idempotent.
+    pub fn start_flusher(self: &Arc<Self>, interval: Duration) {
+        let mut slot = self.flusher_thread.lock();
+        if slot.is_some() {
+            return;
+        }
+        let mgr = self.clone();
+        let state = self.flusher.clone();
+        let handle = std::thread::Builder::new()
+            .name("plp-log-flusher".into())
+            .spawn(move || {
+                while !state.shutdown.load(Ordering::Acquire) {
+                    {
+                        let mut durable = state.durable_lsn.lock();
+                        state.wakeup.wait_for(&mut durable, interval);
+                    }
+                    let (tail, _n) = mgr.buffer.drain();
+                    {
+                        let mut durable = state.durable_lsn.lock();
+                        if tail > *durable {
+                            *durable = tail;
+                        }
+                    }
+                    state.flushed.notify_all();
+                }
+            })
+            .expect("spawn log flusher");
+        *slot = Some(handle);
+    }
+
+    /// Stop the flusher thread (joins it).
+    pub fn stop_flusher(&self) {
+        self.flusher.shutdown.store(true, Ordering::Release);
+        self.flusher.wakeup.notify_all();
+        self.flusher.flushed.notify_all();
+        if let Some(h) = self.flusher_thread.lock().take() {
+            let _ = h.join();
+        }
+        // Allow restart after a stop (used by tests).
+        self.flusher.shutdown.store(false, Ordering::Release);
+    }
+
+    /// Highest LSN known durable.
+    pub fn durable_lsn(&self) -> Lsn {
+        *self.flusher.durable_lsn.lock()
+    }
+
+    /// Total records ever appended to the shared buffer.
+    pub fn record_count(&self) -> u64 {
+        self.buffer.total_records()
+    }
+
+    /// Total log bytes ever appended.
+    pub fn byte_count(&self) -> u64 {
+        self.buffer.total_bytes()
+    }
+
+    /// Records pending flush (test/diagnostic helper).
+    pub fn pending_records(&self) -> usize {
+        self.buffer.pending_records()
+    }
+
+    /// Manually flush everything pending (used when running without a flusher
+    /// thread, e.g. in unit tests and single-shot experiments).
+    pub fn flush_now(&self) -> Lsn {
+        let (tail, _) = self.buffer.drain();
+        let mut durable = self.flusher.durable_lsn.lock();
+        if tail > *durable {
+            *durable = tail;
+        }
+        self.flusher.flushed.notify_all();
+        *durable
+    }
+}
+
+impl Drop for LogManager {
+    fn drop(&mut self) {
+        self.flusher.shutdown.store(true, Ordering::Release);
+        self.flusher.wakeup.notify_all();
+        if let Some(h) = self.flusher_thread.get_mut().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for LogManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogManager")
+            .field("protocol", &self.protocol)
+            .field("durability", &self.durability)
+            .field("records", &self.record_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(protocol: InsertProtocol, durability: DurabilityMode) -> Arc<LogManager> {
+        Arc::new(LogManager::new(
+            protocol,
+            durability,
+            StatsRegistry::new_shared(),
+        ))
+    }
+
+    #[test]
+    fn consolidated_stages_until_commit() {
+        let m = mgr(InsertProtocol::Consolidated, DurabilityMode::Lazy);
+        let mut h = m.begin(7);
+        m.log(&mut h, LogRecordKind::Insert, 3, 100);
+        m.log(&mut h, LogRecordKind::Update, 4, 50);
+        assert_eq!(m.record_count(), 0);
+        let lsn = m.commit(&mut h);
+        assert!(lsn > Lsn::ZERO);
+        assert_eq!(m.record_count(), 3);
+        // Exactly one log-manager critical section for the whole transaction.
+        assert_eq!(m.stats().snapshot().cs.entries(CsCategory::LogMgr), 1);
+    }
+
+    #[test]
+    fn baseline_hits_buffer_per_record() {
+        let m = mgr(InsertProtocol::Baseline, DurabilityMode::Lazy);
+        let mut h = m.begin(7);
+        m.log(&mut h, LogRecordKind::Insert, 3, 100);
+        m.log(&mut h, LogRecordKind::Update, 4, 50);
+        m.commit(&mut h);
+        assert_eq!(m.record_count(), 3);
+        assert_eq!(m.stats().snapshot().cs.entries(CsCategory::LogMgr), 3);
+    }
+
+    #[test]
+    fn abort_writes_abort_record() {
+        let m = mgr(InsertProtocol::Consolidated, DurabilityMode::Lazy);
+        let mut h = m.begin(9);
+        m.log(&mut h, LogRecordKind::Insert, 1, 10);
+        let lsn = m.abort(&mut h);
+        assert!(lsn > Lsn::ZERO);
+        assert_eq!(m.record_count(), 2);
+    }
+
+    #[test]
+    fn synchronous_commit_waits_for_flusher() {
+        let m = mgr(InsertProtocol::Consolidated, DurabilityMode::Synchronous);
+        m.start_flusher(Duration::from_micros(200));
+        let mut h = m.begin(1);
+        m.log(&mut h, LogRecordKind::Update, 2, 16);
+        let lsn = m.commit(&mut h);
+        assert!(m.durable_lsn() >= lsn);
+        m.stop_flusher();
+    }
+
+    #[test]
+    fn flush_now_advances_durable_lsn() {
+        let m = mgr(InsertProtocol::Consolidated, DurabilityMode::Lazy);
+        let mut h = m.begin(1);
+        m.log(&mut h, LogRecordKind::Update, 2, 16);
+        let lsn = m.commit(&mut h);
+        assert_eq!(m.durable_lsn(), Lsn::ZERO);
+        let durable = m.flush_now();
+        assert!(durable >= lsn);
+        assert_eq!(m.pending_records(), 0);
+    }
+
+    #[test]
+    fn many_transactions_get_increasing_lsns() {
+        let m = mgr(InsertProtocol::Consolidated, DurabilityMode::Lazy);
+        let mut last = Lsn::ZERO;
+        for t in 0..100 {
+            let mut h = m.begin(t);
+            m.log(&mut h, LogRecordKind::Update, t, 24);
+            let lsn = m.commit(&mut h);
+            assert!(lsn > last);
+            last = lsn;
+        }
+        assert_eq!(m.record_count(), 200);
+    }
+
+    #[test]
+    fn concurrent_commits_are_ordered() {
+        let m = mgr(InsertProtocol::Consolidated, DurabilityMode::Lazy);
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let mut h = m.begin(t * 1000 + i);
+                    m.log(&mut h, LogRecordKind::Update, i, 32);
+                    m.commit(&mut h);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.record_count(), 8 * 100 * 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! The paper's microbenchmarks.
+//!
+//! * [`InsertDeleteHeavy`] — every transaction inserts or deletes a
+//!   Call-Forwarding row (Figure 6: index-latch contention from page splits
+//!   and SMO serialization).
+//! * [`ProbeInsertMix`] — a single-table microbenchmark with a configurable
+//!   insert percentage (Figure 10: parallel SMOs with MRBTrees).
+//! * [`BalanceProbe`] — read-only subscriber probes whose access pattern can
+//!   switch from uniform to hot-spot mid-run (Figure 8: repartitioning).
+
+use plp_core::{Action, ActionOutput, Database, EngineError, TableId, TableSpec, TransactionPlan};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::tatp::{call_forwarding_key, Tatp, CALL_FORWARDING, SUBSCRIBER};
+use crate::{fields, Workload};
+
+/// Insert/delete-heavy CallFwd microbenchmark on the TATP schema.
+pub struct InsertDeleteHeavy {
+    tatp: Tatp,
+}
+
+impl InsertDeleteHeavy {
+    pub fn new(subscribers: u64) -> Self {
+        Self {
+            tatp: Tatp::new(subscribers),
+        }
+    }
+
+    pub fn tatp(&self) -> &Tatp {
+        &self.tatp
+    }
+}
+
+impl Workload for InsertDeleteHeavy {
+    fn name(&self) -> &'static str {
+        "TATP insert/delete-heavy"
+    }
+
+    fn schema(&self) -> Vec<TableSpec> {
+        self.tatp.schema()
+    }
+
+    fn load(&self, db: &Database) -> Result<(), EngineError> {
+        self.tatp.load(db)
+    }
+
+    fn next_transaction(&self, rng: &mut ChaCha8Rng) -> TransactionPlan {
+        let s_id = self.tatp.pick_subscriber(rng);
+        let sf_type = rng.gen_range(0..4u64);
+        let start = [0u64, 8, 16][rng.gen_range(0..3)];
+        let key = call_forwarding_key(s_id, sf_type, start);
+        if rng.gen_bool(0.5) {
+            TransactionPlan::single(Action::new(CALL_FORWARDING, key, move |ctx| {
+                let mut rec = vec![0u8; 40];
+                fields::set_u64(&mut rec, 0, key);
+                match ctx.insert(CALL_FORWARDING, key, &rec, None) {
+                    Ok(()) | Err(EngineError::DuplicateKey { .. }) => Ok(ActionOutput::empty()),
+                    Err(e) => Err(e),
+                }
+            }))
+        } else {
+            TransactionPlan::single(Action::new(CALL_FORWARDING, key, move |ctx| {
+                ctx.delete(CALL_FORWARDING, key, None)?;
+                Ok(ActionOutput::empty())
+            }))
+        }
+    }
+}
+
+/// Single-table probe/insert mix used by the parallel-SMO experiment.
+pub struct ProbeInsertMix {
+    rows: u64,
+    key_space: u64,
+    insert_pct: u32,
+}
+
+/// The single table used by [`ProbeInsertMix`].
+pub const ROWS: TableId = TableId(0);
+
+impl ProbeInsertMix {
+    /// `rows` are pre-loaded (dense keys `0..rows`); inserts draw random keys
+    /// from the much larger `key_space` so they keep splitting pages.
+    pub fn new(rows: u64, insert_pct: u32) -> Self {
+        Self {
+            rows: rows.max(100),
+            key_space: (rows.max(100)) * 64,
+            insert_pct: insert_pct.min(100),
+        }
+    }
+
+    pub fn insert_pct(&self) -> u32 {
+        self.insert_pct
+    }
+}
+
+impl Workload for ProbeInsertMix {
+    fn name(&self) -> &'static str {
+        "probe/insert mix"
+    }
+
+    fn schema(&self) -> Vec<TableSpec> {
+        vec![TableSpec::new(0, "rows", self.key_space)]
+    }
+
+    fn load(&self, db: &Database) -> Result<(), EngineError> {
+        // Spread the preloaded rows over the whole key space so every
+        // partition starts non-empty.
+        let stride = self.key_space / self.rows;
+        for i in 0..self.rows {
+            let key = i * stride;
+            let mut rec = vec![0u8; 64];
+            fields::set_u64(&mut rec, 0, key);
+            db.load_record(ROWS, key, &rec, None)?;
+        }
+        Ok(())
+    }
+
+    fn next_transaction(&self, rng: &mut ChaCha8Rng) -> TransactionPlan {
+        let insert = rng.gen_range(0..100) < self.insert_pct;
+        let key = rng.gen_range(0..self.key_space);
+        if insert {
+            TransactionPlan::single(Action::new(ROWS, key, move |ctx| {
+                let mut rec = vec![0u8; 64];
+                fields::set_u64(&mut rec, 0, key);
+                match ctx.insert(ROWS, key, &rec, None) {
+                    Ok(()) | Err(EngineError::DuplicateKey { .. }) => Ok(ActionOutput::empty()),
+                    Err(e) => Err(e),
+                }
+            }))
+        } else {
+            TransactionPlan::single(Action::new(ROWS, key, move |ctx| {
+                let row = ctx.read(ROWS, key)?;
+                Ok(ActionOutput::with_values(vec![u64::from(row.is_some())]))
+            }))
+        }
+    }
+}
+
+/// Read-only subscriber balance probes with a switchable hot spot (Figure 8).
+pub struct BalanceProbe {
+    tatp: Tatp,
+    hot: std::sync::atomic::AtomicBool,
+}
+
+impl BalanceProbe {
+    pub fn new(subscribers: u64) -> Self {
+        Self {
+            tatp: Tatp::new(subscribers),
+            hot: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Switch the access pattern: 50% of the requests now hit the first 10% of
+    /// the subscribers (the paper's load shift one second into the run).
+    pub fn enable_hotspot(&self) {
+        self.hot.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    pub fn subscribers(&self) -> u64 {
+        self.tatp.subscribers()
+    }
+}
+
+impl Workload for BalanceProbe {
+    fn name(&self) -> &'static str {
+        "subscriber balance probe"
+    }
+
+    fn schema(&self) -> Vec<TableSpec> {
+        self.tatp.schema()
+    }
+
+    fn load(&self, db: &Database) -> Result<(), EngineError> {
+        self.tatp.load(db)
+    }
+
+    fn next_transaction(&self, rng: &mut ChaCha8Rng) -> TransactionPlan {
+        let n = self.tatp.subscribers();
+        let hot = self.hot.load(std::sync::atomic::Ordering::Acquire);
+        let s_id = if hot && rng.gen_bool(0.5) {
+            rng.gen_range(0..(n / 10).max(1))
+        } else {
+            rng.gen_range(0..n)
+        };
+        TransactionPlan::single(Action::new(SUBSCRIBER, s_id, move |ctx| {
+            let row = ctx.read(SUBSCRIBER, s_id)?;
+            Ok(ActionOutput::with_rows(row.into_iter().collect()))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probe_insert_mix_ratio() {
+        let w = ProbeInsertMix::new(1_000, 40);
+        assert_eq!(w.insert_pct(), 40);
+        assert_eq!(w.schema().len(), 1);
+    }
+
+    #[test]
+    fn balance_probe_hotspot_toggle() {
+        let w = BalanceProbe::new(1_000);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Generate plans before and after the switch; both must be valid.
+        let p = w.next_transaction(&mut rng);
+        assert_eq!(p.action_count(), 1);
+        w.enable_hotspot();
+        let p = w.next_transaction(&mut rng);
+        assert_eq!(p.action_count(), 1);
+    }
+
+    #[test]
+    fn insert_delete_heavy_targets_call_forwarding() {
+        let w = InsertDeleteHeavy::new(200);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..10 {
+            let plan = w.next_transaction(&mut rng);
+            assert_eq!(plan.actions[0].table, CALL_FORWARDING);
+        }
+    }
+}

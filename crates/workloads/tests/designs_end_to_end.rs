@@ -1,0 +1,150 @@
+//! End-to-end integration tests: every execution design runs every workload
+//! correctly and with the latching behaviour the paper claims.
+
+use plp_core::{Design, EngineConfig};
+use plp_instrument::{CsCategory, PageKind};
+use plp_workloads::driver::{prepare_engine, run_fixed};
+use plp_workloads::micro::InsertDeleteHeavy;
+use plp_workloads::tatp::Tatp;
+use plp_workloads::tpcb::TpcB;
+use plp_workloads::tpcc::Tpcc;
+use plp_workloads::Workload;
+
+fn run_design(design: Design, workload: &dyn Workload, threads: usize, txns: u64) -> plp_workloads::RunResult {
+    let config = EngineConfig::new(design)
+        .with_partitions(threads)
+        .with_fanout(64);
+    let engine = prepare_engine(config, workload);
+    run_fixed(&engine, workload, threads, txns, 0xBEEF)
+}
+
+#[test]
+fn tatp_runs_on_every_design() {
+    let tatp = Tatp::new(400);
+    for design in Design::ALL {
+        let result = run_design(design, &tatp, 3, 80);
+        assert!(
+            result.committed >= 200,
+            "{design}: committed only {}",
+            result.committed
+        );
+        // Read-mostly TATP should abort rarely (only insert/delete CF races).
+        assert!(
+            result.aborted < result.committed / 4,
+            "{design}: too many aborts ({})",
+            result.aborted
+        );
+    }
+}
+
+#[test]
+fn plp_designs_eliminate_index_latches() {
+    let tatp = Tatp::new(400);
+    let logical = run_design(Design::LogicalOnly, &tatp, 2, 100);
+    let logical_latches = logical.latches_per_txn(PageKind::Index);
+    assert!(logical_latches > 2.0, "logical-only must latch index pages");
+    for design in [Design::PlpRegular, Design::PlpPartition, Design::PlpLeaf] {
+        let result = run_design(design, &tatp, 2, 100);
+        // The only index latches left under PLP come from the (non-partition
+        // aligned) secondary index, which the paper also keeps latched.
+        let plp_latches = result.latches_per_txn(PageKind::Index);
+        assert!(
+            plp_latches < logical_latches * 0.35,
+            "{design}: {plp_latches:.2} index latches/txn vs logical {logical_latches:.2}"
+        );
+        assert!(result.stats.latches.bypassed(PageKind::Index) > 0);
+    }
+}
+
+#[test]
+fn plp_leaf_eliminates_heap_latches_plp_regular_does_not() {
+    let tatp = Tatp::new(400);
+    let regular = run_design(Design::PlpRegular, &tatp, 2, 100);
+    assert!(regular.stats.latches.acquired(PageKind::Heap) > 0);
+    for design in [Design::PlpPartition, Design::PlpLeaf] {
+        let result = run_design(design, &tatp, 2, 100);
+        assert_eq!(
+            result.stats.latches.acquired(PageKind::Heap),
+            0,
+            "{design} must not latch heap pages"
+        );
+    }
+}
+
+#[test]
+fn partitioned_designs_skip_the_central_lock_manager() {
+    let tatp = Tatp::new(300);
+    let conventional = run_design(Design::Conventional { sli: false }, &tatp, 2, 80);
+    assert!(conventional.cs_per_txn(CsCategory::LockMgr) > 1.0);
+    for design in [Design::LogicalOnly, Design::PlpRegular, Design::PlpLeaf] {
+        let result = run_design(design, &tatp, 2, 80);
+        assert_eq!(
+            result.stats.cs.entries(CsCategory::LockMgr),
+            0,
+            "{design} must not touch the central lock manager"
+        );
+        assert!(result.stats.cs.entries(CsCategory::MessagePassing) > 0);
+    }
+}
+
+#[test]
+fn sli_reduces_lock_manager_critical_sections() {
+    let tatp = Tatp::new(300);
+    let baseline = run_design(Design::Conventional { sli: false }, &tatp, 2, 150);
+    let sli = run_design(Design::Conventional { sli: true }, &tatp, 2, 150);
+    assert!(
+        sli.cs_per_txn(CsCategory::LockMgr) < baseline.cs_per_txn(CsCategory::LockMgr) * 0.8,
+        "SLI {} vs baseline {}",
+        sli.cs_per_txn(CsCategory::LockMgr),
+        baseline.cs_per_txn(CsCategory::LockMgr)
+    );
+}
+
+#[test]
+fn tpcb_and_tpcc_run_on_representative_designs() {
+    let tpcb = TpcB::new(2);
+    for design in [
+        Design::Conventional { sli: true },
+        Design::LogicalOnly,
+        Design::PlpLeaf,
+    ] {
+        let result = run_design(design, &tpcb, 2, 60);
+        assert!(result.committed >= 110, "{design}: {}", result.committed);
+    }
+
+    let tpcc = Tpcc::new(2).with_scale(500, 50);
+    for design in [Design::Conventional { sli: true }, Design::PlpLeaf] {
+        let result = run_design(design, &tpcc, 2, 40);
+        assert!(result.committed >= 70, "{design}: {}", result.committed);
+    }
+}
+
+#[test]
+fn insert_delete_heavy_exercises_smos_without_corruption() {
+    let micro = InsertDeleteHeavy::new(300);
+    for design in [Design::Conventional { sli: true }, Design::PlpLeaf] {
+        let config = EngineConfig::new(design).with_partitions(2).with_fanout(6);
+        let engine = prepare_engine(config, &micro);
+        let result = run_fixed(&engine, &micro, 3, 400, 7);
+        assert!(result.committed >= 1_000, "{design}: {}", result.committed);
+        assert!(result.stats.smo_count > 0, "{design} should split pages");
+    }
+}
+
+#[test]
+fn repartitioning_preserves_data_and_updates_routing() {
+    let tatp = Tatp::new(600);
+    let config = EngineConfig::new(Design::PlpLeaf).with_partitions(2);
+    let engine = prepare_engine(config, &tatp);
+    // Shift the boundary of the subscriber table: worker 0 now owns only the
+    // hot 10% of the keys.
+    let table = plp_workloads::tatp::SUBSCRIBER;
+    let hot_boundary = 60; // 10% of 600
+    engine.repartition(table, &[0, hot_boundary]).unwrap();
+    // The data is still fully readable afterwards.
+    let result = run_fixed(&engine, &tatp, 2, 100, 99);
+    assert!(result.committed >= 180, "committed {}", result.committed);
+    if let Some(pm) = engine.partition_manager() {
+        assert_eq!(pm.bounds(table), vec![0, hot_boundary]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Profile where page latches go for one design and workload — the tooling
+//! view behind Figures 2 and 3 of the paper.
+//!
+//! Run with: `cargo run --release --example latch_profile -- plp-leaf`
+
+use plp_core::{Design, EngineConfig};
+use plp_instrument::PageKind;
+use plp_workloads::driver::{prepare_engine, run_fixed};
+use plp_workloads::tatp::Tatp;
+
+fn main() {
+    let design = match std::env::args().nth(1).as_deref() {
+        Some("baseline") => Design::Conventional { sli: false },
+        Some("conventional") => Design::Conventional { sli: true },
+        Some("logical") => Design::LogicalOnly,
+        Some("plp-regular") => Design::PlpRegular,
+        Some("plp-partition") => Design::PlpPartition,
+        _ => Design::PlpLeaf,
+    };
+    let tatp = Tatp::new(2_000);
+    let engine = prepare_engine(EngineConfig::new(design).with_partitions(4), &tatp);
+    let r = run_fixed(&engine, &tatp, 4, 1_000, 3);
+    println!("design: {}", design.name());
+    println!("committed transactions: {}", r.committed);
+    for kind in PageKind::ALL {
+        println!(
+            "{:>14}: {:>8.2} latched/txn  {:>8.2} latch-free/txn  {:>10} ns waited",
+            kind.name(),
+            r.stats.latches.acquired(kind) as f64 / r.committed.max(1) as f64,
+            r.stats.latches.bypassed(kind) as f64 / r.committed.max(1) as f64,
+            r.stats.latches.wait_nanos(kind),
+        );
+    }
+}

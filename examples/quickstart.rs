@@ -1,0 +1,33 @@
+//! Quickstart: create a PLP engine, load a tiny TATP database, run a few
+//! transactions and print what the instrumentation saw.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use plp_core::{Design, EngineConfig};
+use plp_instrument::{CsCategory, PageKind};
+use plp_workloads::driver::{prepare_engine, run_fixed};
+use plp_workloads::tatp::Tatp;
+
+fn main() {
+    let tatp = Tatp::new(1_000);
+    let config = EngineConfig::new(Design::PlpLeaf).with_partitions(4);
+    let engine = prepare_engine(config, &tatp);
+
+    let result = run_fixed(&engine, &tatp, 4, 500, 42);
+    println!("design            : {}", result.design);
+    println!("committed         : {}", result.committed);
+    println!("throughput        : {:.1} Ktps", result.throughput_tps() / 1e3);
+    println!(
+        "index latches/txn : {:.2} (bypassed latch-free: {})",
+        result.latches_per_txn(PageKind::Index),
+        result.stats.latches.bypassed(PageKind::Index)
+    );
+    println!(
+        "lock-mgr CS/txn   : {:.2}",
+        result.cs_per_txn(CsCategory::LockMgr)
+    );
+    println!(
+        "msg-passing CS/txn: {:.2}",
+        result.cs_per_txn(CsCategory::MessagePassing)
+    );
+}

@@ -1,0 +1,40 @@
+//! Demonstrate MRBTree repartitioning: shift load to a hot spot, rebalance the
+//! partitions with slice/meld, and show throughput before and after.
+//!
+//! Run with: `cargo run --release --example repartitioning`
+
+use std::time::Duration;
+
+use plp_core::{Design, EngineConfig};
+use plp_workloads::driver::{prepare_engine, run_timed};
+use plp_workloads::micro::BalanceProbe;
+use plp_workloads::tatp::SUBSCRIBER;
+
+fn main() {
+    let subscribers = 20_000;
+    let workload = BalanceProbe::new(subscribers);
+    let engine = prepare_engine(
+        EngineConfig::new(Design::PlpLeaf).with_partitions(2),
+        &workload,
+    );
+    let window = Duration::from_millis(500);
+
+    let uniform = run_timed(&engine, &workload, 2, window, 1);
+    println!("uniform load        : {:.1} Ktps", uniform.throughput_tps() / 1e3);
+
+    workload.enable_hotspot();
+    let skewed = run_timed(&engine, &workload, 2, window, 2);
+    println!("hot spot, unbalanced: {:.1} Ktps", skewed.throughput_tps() / 1e3);
+
+    // Rebalance: worker 0 takes the hot 10% of the key space, worker 1 the rest.
+    let moved = engine
+        .repartition(SUBSCRIBER, &[0, subscribers / 10])
+        .expect("repartition");
+    println!("repartitioned       : {moved} records moved");
+
+    let rebalanced = run_timed(&engine, &workload, 2, window, 3);
+    println!("hot spot, rebalanced: {:.1} Ktps", rebalanced.throughput_tps() / 1e3);
+    if let Some(pm) = engine.partition_manager() {
+        println!("new bounds          : {:?}", pm.bounds(SUBSCRIBER));
+    }
+}

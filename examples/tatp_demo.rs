@@ -1,0 +1,34 @@
+//! Compare all five execution designs on the TATP mix and print a summary
+//! table — a miniature of the paper's evaluation.
+//!
+//! Run with: `cargo run --release --example tatp_demo`
+
+use plp_core::{Design, EngineConfig};
+use plp_instrument::{Cell, PageKind, Table};
+use plp_workloads::driver::{prepare_engine, run_fixed};
+use plp_workloads::tatp::Tatp;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let tatp = Tatp::new(5_000);
+    let mut table = Table::new(
+        format!("TATP mix, {threads} client threads"),
+        &["design", "Ktps", "aborts", "latches/txn", "contentious CS/txn"],
+    );
+    for design in Design::ALL {
+        let config = EngineConfig::new(design).with_partitions(threads);
+        let engine = prepare_engine(config, &tatp);
+        let r = run_fixed(&engine, &tatp, threads, 2_000, 7);
+        table.row(vec![
+            Cell::from(design.name()),
+            Cell::FloatPrec(r.throughput_tps() / 1e3, 1),
+            Cell::from(r.aborted),
+            Cell::FloatPrec(
+                r.latches_per_txn(PageKind::Index) + r.latches_per_txn(PageKind::Heap),
+                2,
+            ),
+            Cell::FloatPrec(r.contentious_cs_per_txn(), 3),
+        ]);
+    }
+    println!("{}", table.render());
+}

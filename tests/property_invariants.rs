@@ -1,0 +1,154 @@
+//! Property-based tests over the core data structures' invariants.
+
+use proptest::prelude::*;
+
+use plp_btree::{BTree, MrbTree};
+use plp_instrument::StatsRegistry;
+use plp_storage::{Access, BufferPool, HeapFile, Page, PlacementHint, PlacementPolicy, SlottedPage};
+use std::collections::{BTreeMap, HashMap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The B+Tree behaves like a sorted map under arbitrary interleavings of
+    /// inserts, deletes, updates and probes.
+    #[test]
+    fn btree_matches_model(ops in prop::collection::vec((0u8..4, 0u64..500u64), 1..300), fanout in 4usize..32) {
+        let pool = BufferPool::new_shared(StatsRegistry::new_shared());
+        let tree = BTree::create(pool, fanout);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    let expected = !model.contains_key(&key);
+                    let got = tree.insert(key, key * 2, Access::Latched).is_ok();
+                    prop_assert_eq!(got, expected);
+                    if expected { model.insert(key, key * 2); }
+                }
+                1 => {
+                    let got = tree.delete(key, Access::Latched).unwrap();
+                    prop_assert_eq!(got, model.remove(&key));
+                }
+                2 => {
+                    let got = tree.update_value(key, key + 9, Access::Latched).unwrap();
+                    prop_assert_eq!(got, model.contains_key(&key));
+                    if got { model.insert(key, key + 9); }
+                }
+                _ => {
+                    let got = tree.probe(key, Access::Latched).unwrap();
+                    prop_assert_eq!(got, model.get(&key).copied());
+                }
+            }
+        }
+        tree.validate();
+        prop_assert_eq!(tree.entry_count(), model.len());
+        // Full iteration returns the model in order.
+        let mut iterated = Vec::new();
+        tree.for_each_entry(Access::Latched, |k, v| iterated.push((k, v))).unwrap();
+        let expected: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(iterated, expected);
+    }
+
+    /// Slicing and melding an MRBTree preserves its contents and range order.
+    #[test]
+    fn mrbtree_slice_meld_preserves_contents(
+        keys in prop::collection::btree_set(0u64..10_000, 10..400),
+        cut in 1u64..9_999,
+        fanout in 6usize..48,
+    ) {
+        let pool = BufferPool::new_shared(StatsRegistry::new_shared());
+        let tree = MrbTree::create_uniform(pool, fanout, 1, 10_000);
+        for &k in &keys {
+            tree.insert(k, k + 1, Access::Latched).unwrap();
+        }
+        if cut > 0 {
+            tree.slice(cut).unwrap();
+            tree.validate();
+            prop_assert_eq!(tree.partition_count(), 2);
+            for &k in &keys {
+                prop_assert_eq!(tree.probe(k, Access::Latched).unwrap(), Some(k + 1));
+            }
+            tree.meld(1).unwrap();
+            tree.validate();
+            prop_assert_eq!(tree.partition_count(), 1);
+        }
+        for &k in &keys {
+            prop_assert_eq!(tree.probe(k, Access::Latched).unwrap(), Some(k + 1));
+        }
+        prop_assert_eq!(tree.entry_count(), keys.len());
+    }
+
+    /// Slotted pages never lose or corrupt live records.
+    #[test]
+    fn slotted_page_matches_model(ops in prop::collection::vec((0u8..3, 0u16..24, 1usize..300), 1..120)) {
+        let mut page = Page::new();
+        SlottedPage::init(&mut page);
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        for (op, slot_hint, len) in ops {
+            match op {
+                0 => {
+                    let payload = vec![(len % 251) as u8; len];
+                    if let Some(slot) = SlottedPage::insert(&mut page, &payload) {
+                        model.insert(slot, payload);
+                    }
+                }
+                1 => {
+                    if SlottedPage::delete(&mut page, slot_hint) {
+                        prop_assert!(model.remove(&slot_hint).is_some());
+                    } else {
+                        prop_assert!(!model.contains_key(&slot_hint));
+                    }
+                }
+                _ => {
+                    let got = SlottedPage::get(&page, slot_hint).map(|r| r.to_vec());
+                    prop_assert_eq!(got, model.get(&slot_hint).cloned());
+                }
+            }
+        }
+        prop_assert_eq!(SlottedPage::live_records(&page), model.len());
+        for (slot, payload) in &model {
+            prop_assert_eq!(SlottedPage::get(&page, *slot).unwrap(), &payload[..]);
+        }
+        // Compaction preserves everything.
+        SlottedPage::compact(&mut page);
+        for (slot, payload) in &model {
+            prop_assert_eq!(SlottedPage::get(&page, *slot).unwrap(), &payload[..]);
+        }
+    }
+
+    /// Heap files with owned placement never mix records of different owners
+    /// on one page.
+    #[test]
+    fn heap_placement_invariant(records in prop::collection::vec((0u32..6, 8usize..600), 1..200)) {
+        let pool = BufferPool::new_shared(StatsRegistry::new_shared());
+        let heap = HeapFile::new(pool.clone(), PlacementPolicy::PartitionOwned);
+        for (partition, len) in &records {
+            let payload = vec![*partition as u8; *len];
+            heap.insert(&payload, PlacementHint::Partition(*partition), Access::Latched).unwrap();
+        }
+        // Every page holds records of exactly one partition.
+        for page_id in heap.page_ids() {
+            let frame = pool.get(page_id).unwrap();
+            frame.with_page(|p| {
+                let owner = SlottedPage::partition_owner(p);
+                for (_, rec) in SlottedPage::iter(p) {
+                    assert!(rec.iter().all(|&b| b == owner as u8));
+                }
+            });
+        }
+        prop_assert_eq!(heap.live_records(), records.len());
+    }
+
+    /// Partition-bound computation keeps driver/child tables aligned.
+    #[test]
+    fn partition_bounds_align(space in 64u64..100_000, parts in 1usize..16, mult in 1u64..64) {
+        let parent = plp_core::catalog::partition_bounds(space, parts, 1);
+        let child = plp_core::catalog::partition_bounds(space * mult, parts, mult);
+        prop_assert_eq!(parent.len(), child.len());
+        for (p, c) in parent.iter().zip(&child) {
+            prop_assert_eq!(p * mult, *c);
+        }
+        // Bounds are strictly increasing.
+        prop_assert!(parent.windows(2).all(|w| w[0] < w[1]));
+    }
+}
