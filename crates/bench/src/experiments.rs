@@ -334,9 +334,11 @@ pub fn fig8_repartitioning(scale: Scale) -> Vec<Table> {
         let moved = if design.is_partitioned() {
             let start = Instant::now();
             let hot = scale.subscribers / 10;
+            // A repartition error breaks cross-table ownership alignment —
+            // continuing would panic a worker mid-benchmark, so fail loudly.
             let moved = engine
                 .repartition(plp_workloads::tatp::SUBSCRIBER, &[0, hot])
-                .unwrap_or(0);
+                .expect("repartitioning must succeed for latch-free execution");
             let _repartition_time = start.elapsed();
             moved
         } else {

@@ -419,8 +419,10 @@ impl MrbTree {
     /// Returns the physical work done.
     pub fn meld(&self, p: PartitionId) -> Result<RepartitionReport, BTreeError> {
         assert!(p > 0, "cannot meld the first partition");
-        let mut report = RepartitionReport::default();
-        report.partition = p;
+        let mut report = RepartitionReport {
+            partition: p,
+            ..RepartitionReport::default()
+        };
         let (start_h, _) = self.table.range_of(p);
         let (low_tree, high_tree) = {
             let subtrees = self.subtrees.read();

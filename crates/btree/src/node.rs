@@ -396,6 +396,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // compile-time fanout sanity check
     fn max_capacity_matches_page_size() {
         assert_eq!(MAX_NODE_ENTRIES, (PAGE_SIZE - NODE_HEADER_SIZE) / ENTRY_SIZE);
         assert!(MAX_NODE_ENTRIES >= 500);

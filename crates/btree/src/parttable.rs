@@ -172,7 +172,7 @@ impl PartitionTable {
     /// Verify that the durable routing page matches the in-memory ranges map.
     pub fn verify_durable(&self) -> bool {
         let ranges = self.ranges.read();
-        let decoded = self.routing_page.with_page(|p| Self::decode(p));
+        let decoded = self.routing_page.with_page(Self::decode);
         decoded == *ranges
     }
 }

@@ -164,7 +164,7 @@ impl BTree {
     /// Height of the tree in levels (1 = root is a leaf).
     pub fn height(&self) -> u16 {
         let root = self.pool.get(self.root).expect("root page");
-        root.with_page(|p| NodeView::level(p)) + 1
+        root.with_page(NodeView::level) + 1
     }
 
     fn frame(&self, id: PageId) -> Result<Arc<Frame>, BTreeError> {
@@ -415,13 +415,19 @@ impl BTree {
             Attempt::Full => {}
         }
 
-        // Split the leaf.
+        // Split the leaf. The pending key is placed inside the same
+        // write-latched closure that performs the split: the SMO mutex only
+        // excludes other *splits* — optimistic inserters still reach both
+        // halves via the move-right protocol the moment the closure returns,
+        // and could refill them before a separate key insert ran. Inside the
+        // closure the old leaf is write-latched and the new leaf is not yet
+        // reachable, so both halves provably have room.
         let new_leaf = self.alloc_node(0, access);
         let mut moved = Vec::new();
-        let (separator, old_next) = leaf.with_write_access(access, |old| {
+        let (separator, old_next, into_new) = leaf.with_write_access(access, |old| {
             let n = NodeView::entry_count(old);
             let split_at = n / 2;
-            new_leaf.with_page_mut(|newp| {
+            let separator = new_leaf.with_page_mut(|newp| {
                 NodeView::move_upper_half(old, newp, split_at);
                 moved = NodeView::entries(newp);
                 // Wire the leaf chain and hand the upper key range (and high
@@ -429,11 +435,19 @@ impl BTree {
                 NodeView::set_prev_leaf(newp, leaf.id());
                 NodeView::set_next_leaf(newp, NodeView::next_leaf(old));
                 NodeView::set_high_key(newp, NodeView::high_key(old));
+                moved[0].0
             });
             let old_next = NodeView::next_leaf(old);
             NodeView::set_next_leaf(old, new_leaf.id());
-            NodeView::set_high_key(old, moved[0].0);
-            (moved[0].0, old_next)
+            NodeView::set_high_key(old, separator);
+            let into_new = key >= separator;
+            let inserted = if into_new {
+                new_leaf.with_page_mut(|newp| NodeView::insert(newp, key, value, self.max_entries))
+            } else {
+                NodeView::insert(old, key, value, self.max_entries)
+            };
+            debug_assert!(inserted, "leaf must have room after split");
+            (separator, old_next, into_new)
         });
         if old_next.is_valid() {
             let next_frame = self.frame(old_next)?;
@@ -444,17 +458,7 @@ impl BTree {
             new_leaf: new_leaf.id(),
             moved: moved.clone(),
         };
-
-        // Place the new key before touching the ancestors: if the split leaf
-        // is the (fixed) root, updating the ancestors re-initialises the root
-        // page as an interior node and the key must already have been copied
-        // down with the rest of the leaf's contents.
-        let target = if key >= separator { &new_leaf } else { &leaf };
-        let inserted = target.with_write_access(access, |page| {
-            NodeView::insert(page, key, value, self.max_entries)
-        });
-        debug_assert!(inserted, "leaf must have room after split");
-        let target_id = target.id();
+        let target_id = if into_new { new_leaf.id() } else { leaf.id() };
 
         // Insert the separator into the ancestors, splitting upward as needed.
         self.insert_into_parent(&path, path.len() - 1, separator, new_leaf.id(), access)?;
@@ -487,7 +491,7 @@ impl BTree {
             return Ok(());
         }
         // Parent is full: split it, then retry into the proper half.
-        let parent_level = parent.with_page(|p| NodeView::level(p));
+        let parent_level = parent.with_page(NodeView::level);
         let new_parent = self.alloc_node(parent_level, access);
         let push_up = parent.with_write_access(access, |old| {
             let n = NodeView::entry_count(old);
@@ -516,7 +520,7 @@ impl BTree {
     /// left child and `new_child`.
     fn grow_root(&self, separator: u64, new_child: PageId, access: Access) -> Result<(), BTreeError> {
         let root = self.frame(self.root)?;
-        let root_level = root.with_page(|p| NodeView::level(p));
+        let root_level = root.with_page(NodeView::level);
         let left = self.alloc_node(root_level, access);
         root.with_write_access(access, |rootp| {
             left.with_page_mut(|leftp| {

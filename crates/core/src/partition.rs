@@ -156,15 +156,31 @@ impl PartitionManager {
         self.workers.iter().map(|w| w.quiesce()).collect()
     }
 
-    /// Repartition one table to the new boundary set (must have exactly one
-    /// boundary per worker, starting at the same minimum key).
+    /// Repartition the schema around `table_id`'s new boundary set (exactly
+    /// one boundary per worker, starting at the same minimum key).
     ///
-    /// * Logical-only: only the routing table changes.
-    /// * PLP designs: the MRBTree is sliced/melded to the new boundaries, heap
-    ///   records are relocated as required by the placement policy, and page
-    ///   ownership is re-assigned.
+    /// Every *aligned* sibling table is repartitioned to boundaries scaled by
+    /// the ratio of its `partition_granularity` to the driver table's:
+    /// workloads encode composite keys as `driver_key * granularity + rest`
+    /// (see [`crate::catalog::TableSpec::partition_granularity`]), so scaling
+    /// keeps those tables' partitions aligned. Without the propagation, an
+    /// action routed by the driver table's new boundaries would make
+    /// latch-free accesses to sibling-table pages still owned by another
+    /// worker. A table is aligned when it spans the same number of driver
+    /// units (`key_space / granularity`) as the driver table; independent
+    /// tables routed by their own key space — e.g. TPC-C's `item` — are left
+    /// untouched.
     ///
-    /// Returns the number of heap records physically moved.
+    /// * Logical-only: only the routing tables change.
+    /// * PLP designs: each MRBTree is sliced/melded to its new boundaries,
+    ///   heap records are relocated as required by the placement policy, and
+    ///   page ownership is re-assigned.
+    ///
+    /// Returns the number of heap records physically moved. On `Err`, each
+    /// table's routing is re-derived from its tree's actual partition table
+    /// (so routing matches ownership even after a partial slice/meld), but
+    /// cross-table alignment may be broken — callers should treat a
+    /// repartition error as fatal for latch-free execution.
     pub fn repartition(&self, table_id: TableId, new_bounds: &[u64]) -> Result<usize, EngineError> {
         assert_eq!(
             new_bounds.len(),
@@ -173,13 +189,78 @@ impl PartitionManager {
         );
         let old_bounds = self.bounds(table_id);
         assert_eq!(old_bounds.first(), new_bounds.first(), "first bound fixed");
+        let driver = self.db.table(table_id)?.spec().clone();
+        for &b in new_bounds {
+            assert_eq!(
+                b % driver.partition_granularity,
+                0,
+                "boundary {b} not aligned to the table's granularity {}",
+                driver.partition_granularity
+            );
+        }
 
-        let mut records_moved = 0usize;
         let resumers = self.quiesce_all();
+        // Workers are parked until `resumers` fire, so errors must not return
+        // before the resume loop.
+        let result = (|| {
+            let mut records_moved = self.repartition_one(table_id, new_bounds)?;
+            for table in self.db.tables() {
+                let spec = table.spec();
+                // Propagate only to tables spanning the same driver units;
+                // `a/b == c/d` checked as `a*d == c*b` to avoid truncation.
+                let aligned = spec.key_space * driver.partition_granularity
+                    == driver.key_space * spec.partition_granularity;
+                if spec.id == table_id || !aligned {
+                    continue;
+                }
+                let scaled: Vec<u64> = new_bounds
+                    .iter()
+                    .map(|&b| b / driver.partition_granularity * spec.partition_granularity)
+                    .collect();
+                records_moved += self.repartition_one(spec.id, &scaled)?;
+            }
+            Ok(records_moved)
+        })();
+        if result.is_err() {
+            // A slice/meld may have failed partway through a table, leaving
+            // its tree with boundaries the routing map has never seen. Routing
+            // and ownership are both derived from partition indexes, so
+            // re-deriving routing from each tree's actual partition table
+            // restores the per-table routing == ownership invariant.
+            let mut routing = self.routing.write();
+            for table in self.db.tables() {
+                if let Some(mrb) = table.primary().as_mrb() {
+                    let starts = mrb
+                        .partition_table()
+                        .ranges()
+                        .iter()
+                        .map(|r| r.start_key)
+                        .collect();
+                    routing.insert(table.spec().id, Routing { starts });
+                }
+            }
+        }
+        self.assign_ownership();
+        for r in resumers {
+            let _ = r.send(());
+        }
+        result
+    }
 
-        if self.design.latch_free_index() || self.db.config().design == Design::LogicalOnly {
+    /// Slice/meld one table to `new_bounds` and update its routing entry.
+    /// Callers must have quiesced the workers and re-assign ownership after.
+    fn repartition_one(&self, table_id: TableId, new_bounds: &[u64]) -> Result<usize, EngineError> {
+        let old_bounds = self.bounds(table_id);
+        if old_bounds == new_bounds {
+            return Ok(0);
+        }
+        let mut records_moved = 0usize;
+        let table = self.db.table(table_id)?;
+        let physical =
+            self.design.latch_free_index() || self.db.config().design == Design::LogicalOnly;
+        if physical {
             // Physical repartitioning only applies to MRBTree-backed tables.
-            if let Some(mrb) = self.db.table(table_id)?.primary().as_mrb() {
+            if let Some(mrb) = table.primary().as_mrb() {
                 // Slice at every new boundary that does not exist yet.
                 for &b in new_bounds {
                     let existing = mrb.partition_table().ranges();
@@ -187,10 +268,8 @@ impl PartitionManager {
                         let report = mrb
                             .slice(b)
                             .map_err(|e| EngineError::from_btree(table_id, e))?;
-                        records_moved += self.fix_placement_after_slice(
-                            table_id,
-                            &report.moved_leaf_entries,
-                        )?;
+                        records_moved += self
+                            .fix_placement_after_slice(table_id, &report.moved_leaf_entries)?;
                     }
                 }
                 // Meld away every old boundary that is no longer wanted.
@@ -207,33 +286,32 @@ impl PartitionManager {
                             let report = mrb
                                 .meld(p)
                                 .map_err(|e| EngineError::from_btree(table_id, e))?;
-                            records_moved += self.fix_placement_after_slice(
-                                table_id,
-                                &report.moved_leaf_entries,
-                            )?;
+                            records_moved += self
+                                .fix_placement_after_slice(table_id, &report.moved_leaf_entries)?;
                         }
                         None => break,
                     }
                 }
-                // PLP-Partition: heap pages are bucketed by partition id, so a
-                // boundary move forces records whose partition changed onto
-                // pages of their new partition.
-                if self.db.table(table_id)?.heap().policy() == PlacementPolicy::PartitionOwned {
-                    records_moved += self.rebucket_partition_records(table_id, &old_bounds)?;
-                }
             }
         }
 
-        // Update routing and ownership, then resume the workers.
+        // Update routing before rebucketing so the policy sees the *new*
+        // assignment (rebucketing compares old vs current routing).
         self.routing.write().insert(
             table_id,
             Routing {
                 starts: new_bounds.to_vec(),
             },
         );
-        self.assign_ownership();
-        for r in resumers {
-            let _ = r.send(());
+
+        // PLP-Partition: heap pages are bucketed by partition id, so a
+        // boundary move forces records whose partition changed onto pages of
+        // their new partition.
+        if physical
+            && table.primary().as_mrb().is_some()
+            && table.heap().policy() == PlacementPolicy::PartitionOwned
+        {
+            records_moved += self.rebucket_partition_records(table_id, &old_bounds)?;
         }
         Ok(records_moved)
     }

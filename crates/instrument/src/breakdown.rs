@@ -91,8 +91,8 @@ impl TimeBreakdown {
 
     pub fn snapshot(&self) -> BreakdownSnapshot {
         let mut nanos = [0u64; N_BUCKETS];
-        for i in 0..N_BUCKETS {
-            nanos[i] = self.nanos[i].load(Ordering::Relaxed);
+        for (out, counter) in nanos.iter_mut().zip(&self.nanos) {
+            *out = counter.load(Ordering::Relaxed);
         }
         // "Other" was accumulated as *total* transaction time; subtract the
         // explicitly-attributed buckets so the stack adds up to the total.

@@ -465,6 +465,6 @@ mod tests {
         assert!(pages.len() >= 3);
         let first = &pages[..1];
         let n = h.scan_pages(first, Access::Latched, |_, _| {}).unwrap();
-        assert!(n >= 1 && n < 6);
+        assert!((1..6).contains(&n));
     }
 }

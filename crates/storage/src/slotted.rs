@@ -136,7 +136,7 @@ impl SlottedPage {
     }
 
     /// Read a record; `None` if the slot is out of range or deleted.
-    pub fn get<'p>(page: &'p Page, slot: u16) -> Option<&'p [u8]> {
+    pub fn get(page: &Page, slot: u16) -> Option<&[u8]> {
         if slot >= Self::slot_count(page) {
             return None;
         }
@@ -283,7 +283,7 @@ mod tests {
             inserted += 1;
         }
         // 8 records of ~1004 bytes each fit into 8 KiB.
-        assert!(inserted >= 7 && inserted <= 8, "inserted {inserted}");
+        assert!((7..=8).contains(&inserted), "inserted {inserted}");
         assert!(!SlottedPage::can_fit(&p, 1000));
         assert!(SlottedPage::can_fit(&p, 8));
     }

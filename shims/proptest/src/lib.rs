@@ -1,0 +1,264 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of proptest the workspace's property tests use:
+//! the `proptest!` macro with `#![proptest_config(...)]`, integer-range and
+//! tuple strategies, `prop::collection::{vec, btree_set}`, and the
+//! `prop_assert*` macros. Inputs are drawn from a ChaCha stream seeded from
+//! the test's name, so runs are deterministic; there is no shrinking — a
+//! failing case panics with the regular assertion message. Swap the
+//! workspace dependency back to the real crate when network access is
+//! available.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod test_runner {
+    use super::*;
+
+    /// Deterministic RNG handed to strategies by the `proptest!` macro.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: rand_chacha::ChaCha8Rng,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from the test's name so every test gets an
+        /// independent but reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self {
+                inner: rand_chacha::ChaCha8Rng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+/// Runner configuration; only `cases` is meaningful in this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A source of random values of one type. The real crate separates
+/// strategies from value trees to support shrinking; this shim only
+/// generates.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+);
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::btree_set(element, len_range)`.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+            let target = rng.gen_range(self.size.clone());
+            let mut set = BTreeSet::new();
+            // The element domain may be smaller than the requested size, so
+            // cap the attempts rather than looping forever.
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(50) + 100 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// The test-definition macro. Each body runs `config.cases` times with
+/// freshly generated inputs; assertion failures panic with the offending
+/// case's values available via the assertion message (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for _ in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u8..4, 10u64..20), n in 1usize..8) {
+            prop_assert!(a < 4);
+            prop_assert!((10..20).contains(&b));
+            prop_assert!((1..8).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0u32..100, 3..10)) {
+            prop_assert!((3..10).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn btree_set_strategy_is_distinct(s in prop::collection::btree_set(0u64..1_000, 5..50)) {
+            prop_assert!(s.len() < 50);
+            prop_assert!(s.iter().all(|&x| x < 1_000));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Facade crate for the PLP reproduction.
+//!
+//! Re-exports the subsystem crates so downstream users (and the
+//! workspace-level integration tests under `tests/`) can reach everything
+//! through one dependency.
+
+pub use plp_bench as bench;
+pub use plp_btree as btree;
+pub use plp_core as core;
+pub use plp_instrument as instrument;
+pub use plp_lock as lock;
+pub use plp_storage as storage;
+pub use plp_txn as txn;
+pub use plp_wal as wal;
+pub use plp_workloads as workloads;
