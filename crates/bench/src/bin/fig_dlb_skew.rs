@@ -1,0 +1,12 @@
+//! Dynamic load balancing under a shifting hotspot (paper §5): throughput
+//! collapse with the controller off, recovery with it on, plus the
+//! repartition-journal rollback demonstration.  `--full` uses larger
+//! parameters.
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        plp_bench::Scale::full()
+    } else {
+        plp_bench::Scale::quick()
+    };
+    plp_bench::print_tables(&plp_bench::fig_dlb_skew(scale));
+}

@@ -1,5 +1,7 @@
 //! Runs every table/figure reproduction with scaled-down parameters and
-//! prints the results (plus a markdown copy to `reproduction_results.md`).
+//! prints the results (plus a markdown copy to `reproduction_results.md` and
+//! a machine-readable `reproduction_results.json` for the nightly-CI
+//! artifact).
 use std::fmt::Write as _;
 
 fn main() {
@@ -9,10 +11,12 @@ fn main() {
         plp_bench::Scale::quick()
     };
     let mut md = String::new();
+    let mut json_sections: Vec<String> = Vec::new();
     let mut section = |name: &str, tables: Vec<plp_instrument::Table>| {
         println!("\n################ {name} ################\n");
         plp_bench::print_tables(&tables);
         let _ = writeln!(md, "\n## {name}\n\n{}", plp_bench::markdown_tables(&tables));
+        json_sections.push(plp_bench::json_section(name, &tables));
     };
     section("Table 1", plp_bench::table1_repartition_cost());
     section("Table 2", plp_bench::table2_cost_model());
@@ -29,6 +33,9 @@ fn main() {
     section("Figure 12", plp_bench::fig12_heap_scan(scale));
     section("Ablation: log protocol", plp_bench::ablation_log_protocol(scale));
     section("Ablation: padding vs PLP-Leaf", plp_bench::ablation_padding(scale));
+    section("DLB: shifting hotspot", plp_bench::fig_dlb_skew(scale));
     std::fs::write("reproduction_results.md", md).expect("write results");
-    println!("\nwrote reproduction_results.md");
+    let json = format!("{{\"sections\":[{}]}}\n", json_sections.join(","));
+    std::fs::write("reproduction_results.json", json).expect("write json results");
+    println!("\nwrote reproduction_results.md and reproduction_results.json");
 }

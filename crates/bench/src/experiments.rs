@@ -582,3 +582,156 @@ pub fn ablation_padding(scale: Scale) -> Vec<Table> {
 
 /// TableId of the subscriber table, re-exported for the repartitioning bin.
 pub const SUBSCRIBER_TABLE: TableId = TableId(0);
+
+/// The DLB experiment (paper §5): a micro-TATP workload whose hotspot shifts
+/// mid-run.  With the load balancer off, the shift strands 90% of the
+/// traffic on one worker and throughput collapses; with it on, the aging
+/// histograms localize the new hotspot and the controller repartitions the
+/// alignment group until the load is spread again.
+///
+/// The second table demonstrates repartition-journal rollback: a deliberately
+/// injected sibling failure leaves every table on its old boundaries and the
+/// engine still serving transactions.
+pub fn fig_dlb_skew(scale: Scale) -> Vec<Table> {
+    use plp_core::DlbConfig;
+    use plp_workloads::micro::SkewedProbe;
+    use plp_workloads::skew::SkewKind;
+
+    let threads = scale.max_threads.clamp(2, 4);
+    // More clients than workers: a hotspot stuck on one worker then queues,
+    // which is exactly the collapse the controller is supposed to fix.
+    let clients = threads * 2;
+    let window = Duration::from_millis(300);
+    let subscribers = scale.subscribers;
+    // Shift the hot range into the middle of the last partition's territory.
+    let shift_target = subscribers * 3 / 5;
+    let hot = SkewKind::HotSpot {
+        fraction: 0.05,
+        probability: 0.9,
+    };
+
+    let mut table = Table::new(
+        "DLB — hotspot shift under PLP-Regular: throughput (Ktps), load balancer off vs on",
+        &[
+            "configuration",
+            "initial hotspot",
+            "after shift",
+            "after recovery window",
+            "repartitions",
+            "observed imb",
+            "predicted imb",
+            "workers sharing hot range",
+        ],
+    );
+    // Uniform reference: what the hardware gives when nothing is hot.
+    {
+        let workload = SkewedProbe::new(subscribers, SkewKind::Uniform);
+        let config = EngineConfig::new(Design::PlpRegular)
+            .with_partitions(threads)
+            .with_fanout(128);
+        let engine = prepare_engine(config, &workload);
+        let r = run_timed(&engine, &workload, clients, window, 31);
+        table.row(vec![
+            Cell::from("uniform reference"),
+            Cell::FloatPrec(r.throughput_tps() / 1_000.0, 1),
+            Cell::Empty,
+            Cell::Empty,
+            Cell::from(0u64),
+            Cell::Empty,
+            Cell::Empty,
+            Cell::Empty,
+        ]);
+    }
+    for dlb_on in [false, true] {
+        let workload = SkewedProbe::new(subscribers, hot);
+        let mut config = EngineConfig::new(Design::PlpRegular)
+            .with_partitions(threads)
+            .with_fanout(128);
+        if dlb_on {
+            config = config.with_dlb(DlbConfig::aggressive());
+        }
+        let engine = prepare_engine(config, &workload);
+        // Settle window: with DLB on, the controller adapts to the initial
+        // hotspot here; with it off, nothing changes.
+        let _ = run_timed(&engine, &workload, clients, window, 32);
+        let adapted = run_timed(&engine, &workload, clients, window, 33);
+        workload.shift_to(shift_target);
+        let after_shift = run_timed(&engine, &workload, clients, window, 34);
+        // Recovery window: the controller chases the relocated hotspot.
+        let _ = run_timed(&engine, &workload, clients, window, 35);
+        let recovered = run_timed(&engine, &workload, clients, window, 36);
+        let dlb = engine.db().stats().snapshot().dlb;
+        // Hardware-independent recovery evidence: on boxes where the workers
+        // cannot run in parallel the throughput columns flatten, but the
+        // number of workers owning a slice of the (moved) hot range still
+        // shows whether the controller spread the load.
+        let spread = {
+            let pm = engine.partition_manager().expect("partitioned design");
+            let bounds = pm.bounds(plp_core::TableId(0));
+            let (hot_lo, hot_hi) = workload.keys().hot_range();
+            (0..bounds.len())
+                .filter(|&i| {
+                    let lo = bounds[i];
+                    let hi = bounds.get(i + 1).copied().unwrap_or(u64::MAX);
+                    lo < hot_hi && hi > hot_lo
+                })
+                .count()
+        };
+        table.row(vec![
+            Cell::from(if dlb_on { "DLB on" } else { "DLB off" }),
+            Cell::FloatPrec(adapted.throughput_tps() / 1_000.0, 1),
+            Cell::FloatPrec(after_shift.throughput_tps() / 1_000.0, 1),
+            Cell::FloatPrec(recovered.throughput_tps() / 1_000.0, 1),
+            Cell::from(dlb.repartitions_triggered),
+            Cell::FloatPrec(dlb.observed_imbalance, 2),
+            Cell::FloatPrec(dlb.predicted_imbalance, 2),
+            Cell::from(spread),
+        ]);
+    }
+
+    vec![table, dlb_rollback_demo(scale, window)]
+}
+
+/// Inject a sibling-repartition failure into a live TATP engine and show the
+/// journal rolling every table back with the engine still serving.
+fn dlb_rollback_demo(scale: Scale, window: Duration) -> Table {
+    let tatp = Tatp::new((scale.subscribers / 2).max(600));
+    let engine = prepare_engine(
+        EngineConfig::new(Design::PlpLeaf).with_partitions(2),
+        &tatp,
+    );
+    let pm = engine
+        .partition_manager()
+        .expect("PLP designs are partitioned");
+    let schema = tatp.schema();
+    let bounds_before: Vec<Vec<u64>> = schema.iter().map(|s| pm.bounds(s.id)).collect();
+    // Fail after the driver and one sibling have been repartitioned.
+    pm.inject_repartition_failure_after(2);
+    let hot = tatp.subscribers() / 10;
+    let result = engine.repartition(SUBSCRIBER_TABLE, &[0, hot]);
+    let bounds_after: Vec<Vec<u64>> = schema.iter().map(|s| pm.bounds(s.id)).collect();
+    let rolled_back = result.is_err() && bounds_before == bounds_after;
+    let r = run_timed(&engine, &tatp, 2, window, 37);
+    let rollbacks = engine.db().stats().snapshot().dlb.rollbacks;
+
+    let mut table = Table::new(
+        "DLB — repartition-journal rollback after an injected sibling failure (TATP, PLP-Leaf)",
+        &[
+            "outcome",
+            "boundaries restored",
+            "journal rollbacks",
+            "Ktps while serving after failure",
+        ],
+    );
+    table.row(vec![
+        Cell::from(if result.is_err() {
+            "repartition failed (as injected)"
+        } else {
+            "repartition unexpectedly succeeded"
+        }),
+        Cell::from(if rolled_back { "yes" } else { "NO" }),
+        Cell::from(rollbacks),
+        Cell::FloatPrec(r.throughput_tps() / 1_000.0, 1),
+    ]);
+    table
+}

@@ -77,3 +77,14 @@ pub fn markdown_tables(tables: &[Table]) -> String {
         .collect::<Vec<_>>()
         .join("\n")
 }
+
+/// Render one named experiment section as a JSON object (used by
+/// `reproduce_all` to build the nightly-CI artifact).
+pub fn json_section(name: &str, tables: &[Table]) -> String {
+    let tables_json: Vec<String> = tables.iter().map(|t| t.render_json()).collect();
+    format!(
+        "{{\"section\":{},\"tables\":[{}]}}",
+        plp_instrument::report::json_string_literal(name),
+        tables_json.join(",")
+    )
+}

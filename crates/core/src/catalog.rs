@@ -109,6 +109,17 @@ pub struct TableSpec {
     /// actions of a transaction land on the same logical partition regardless
     /// of how the key space divides by the partition count.
     pub partition_granularity: u64,
+    /// Declared partition alignment: when `Some(driver)`, this table's
+    /// partition boundaries are kept aligned with `driver`'s (scaled by the
+    /// granularity ratio) whenever the driver is repartitioned.
+    ///
+    /// The declared relationship replaces the old inference from
+    /// coincidentally equal `key_space / granularity` ratios, so unrelated
+    /// tables (e.g. TPC-C's `item`) are never co-repartitioned by accident.
+    /// The driver must itself be a root (its `partitioned_with` is `None`),
+    /// and the key-space/granularity ratios of the whole group must agree —
+    /// both are validated when the database is created.
+    pub partitioned_with: Option<TableId>,
 }
 
 impl TableSpec {
@@ -119,6 +130,7 @@ impl TableSpec {
             has_secondary: false,
             key_space,
             partition_granularity: 1,
+            partitioned_with: None,
         }
     }
 
@@ -130,6 +142,13 @@ impl TableSpec {
     /// Set the partition-boundary granularity (see the field docs).
     pub fn with_granularity(mut self, granularity: u64) -> Self {
         self.partition_granularity = granularity.max(1);
+        self
+    }
+
+    /// Declare this table partition-aligned with `driver` (see the
+    /// [`Self::partitioned_with`] field docs).
+    pub fn aligned_with(mut self, driver: TableId) -> Self {
+        self.partitioned_with = Some(driver);
         self
     }
 
@@ -181,6 +200,11 @@ pub struct EngineConfig {
     /// (the classic false-sharing workaround the paper mentions; Figure 7 runs
     /// TPC-B with padding disabled).
     pub pad_records: bool,
+    /// Dynamic load balancing (Section 5): aging access histograms plus a
+    /// background repartition controller.  Disabled by default; see
+    /// [`crate::dlb::DlbConfig`] for the knobs (aging interval, trigger
+    /// threshold, minimum time between repartitions, …).
+    pub dlb: crate::dlb::DlbConfig,
 }
 
 impl EngineConfig {
@@ -198,6 +222,7 @@ impl EngineConfig {
             log_protocol: InsertProtocol::Consolidated,
             durability: DurabilityMode::Lazy,
             pad_records: false,
+            dlb: crate::dlb::DlbConfig::default(),
         }
     }
 
@@ -232,6 +257,13 @@ impl EngineConfig {
 
     pub fn with_padding(mut self, pad: bool) -> Self {
         self.pad_records = pad;
+        self
+    }
+
+    /// Configure dynamic load balancing (only meaningful for the partitioned
+    /// designs; the conventional design has no partitions to balance).
+    pub fn with_dlb(mut self, dlb: crate::dlb::DlbConfig) -> Self {
+        self.dlb = dlb;
         self
     }
 }

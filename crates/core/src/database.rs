@@ -28,7 +28,34 @@ pub struct Database {
 
 impl Database {
     /// Create a database with the given schema under a configuration.
+    ///
+    /// Panics if a declared partition alignment is inconsistent: the driver
+    /// of a `partitioned_with` declaration must exist, be a root itself, and
+    /// span the same number of driver units (`key_space / granularity`) as
+    /// the dependent — otherwise boundary propagation could not keep the
+    /// group aligned.
     pub fn create(config: EngineConfig, schema: &[TableSpec]) -> Arc<Self> {
+        for spec in schema {
+            let Some(root_id) = spec.partitioned_with else {
+                continue;
+            };
+            assert_ne!(root_id, spec.id, "table {:?} aligned with itself", spec.id);
+            let root = schema
+                .iter()
+                .find(|s| s.id == root_id)
+                .unwrap_or_else(|| panic!("table {:?} aligned with unknown {root_id:?}", spec.id));
+            assert!(
+                root.partitioned_with.is_none(),
+                "alignment driver {root_id:?} must be a root (no chained alignment)"
+            );
+            // `a/b == c/d` checked as `a*d == c*b` to avoid truncation.
+            assert_eq!(
+                spec.key_space as u128 * root.partition_granularity as u128,
+                root.key_space as u128 * spec.partition_granularity as u128,
+                "table {:?} does not span the same driver units as {root_id:?}",
+                spec.id
+            );
+        }
         let stats = StatsRegistry::new_shared();
         let pool = BufferPool::new_shared(stats.clone());
         let locks = Arc::new(LockManager::new(stats.clone()));

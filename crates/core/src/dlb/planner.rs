@@ -1,0 +1,398 @@
+//! Boundary planning for the load balancer (Section 5.2 of the paper).
+//!
+//! Pure functions over histogram snapshots: compute per-partition load under
+//! the current boundaries, measure imbalance, propose new boundaries that
+//! equalize predicted load, and price the proposal with the analytical
+//! repartitioning cost model of `plp_btree::costmodel` so the controller only
+//! acts when the predicted gain outweighs the predicted movement cost.
+
+use plp_btree::costmodel::{CostModelParams, RepartitionCost, SystemKind};
+
+/// A fine-grained load snapshot over one table's (or alignment group's) key
+/// space, produced from [`super::AgingHistogram::weights`].
+#[derive(Debug, Clone)]
+pub struct LoadSnapshot {
+    pub key_space: u64,
+    /// Access weight per fine slot; slot `f` covers
+    /// `[f * key_space / len, (f+1) * key_space / len)`.
+    pub weights: Vec<u64>,
+}
+
+impl LoadSnapshot {
+    pub fn new(key_space: u64, weights: Vec<u64>) -> Self {
+        assert!(!weights.is_empty(), "snapshot needs at least one slot");
+        Self {
+            key_space: key_space.max(1),
+            weights,
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    fn slot_range(&self, f: usize) -> (u64, u64) {
+        let n = self.weights.len() as u128;
+        let lo = (f as u128 * self.key_space as u128 / n) as u64;
+        let hi = ((f + 1) as u128 * self.key_space as u128 / n) as u64;
+        (lo, hi)
+    }
+
+    /// Access mass inside `[lo, hi)`, splitting slots proportionally.
+    pub fn mass_between(&self, lo: u64, hi: u64) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        let mut mass = 0.0;
+        for (f, &w) in self.weights.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let (slo, shi) = self.slot_range(f);
+            if shi <= lo || slo >= hi || shi == slo {
+                continue;
+            }
+            let overlap = shi.min(hi).saturating_sub(slo.max(lo));
+            mass += w as f64 * overlap as f64 / (shi - slo) as f64;
+        }
+        mass
+    }
+
+    /// Predicted load per partition under `bounds` (partition `i` covers
+    /// `[bounds[i], bounds[i+1])`, the last one up to `key_space`).
+    pub fn partition_loads(&self, bounds: &[u64]) -> Vec<f64> {
+        (0..bounds.len())
+            .map(|i| {
+                let lo = bounds[i];
+                let hi = bounds.get(i + 1).copied().unwrap_or(self.key_space.max(lo));
+                self.mass_between(lo, hi.max(lo))
+            })
+            .collect()
+    }
+
+    /// Propose `partitions` boundaries (multiples of `granularity`, first one
+    /// fixed to `first`) that give every partition roughly equal access mass.
+    /// Cuts interpolate linearly inside fine slots, so a hot range narrower
+    /// than one coarse bucket can still be split — provided the histogram has
+    /// refined it.
+    pub fn plan_bounds(&self, partitions: usize, granularity: u64, first: u64) -> Vec<u64> {
+        let p = partitions.max(1);
+        let g = granularity.max(1);
+        let total = self.total();
+        let mut bounds = Vec::with_capacity(p);
+        bounds.push(first);
+        if total == 0 {
+            // No signal: fall back to uniform spacing.
+            for k in 1..p {
+                let raw = (k as u128 * self.key_space as u128 / p as u128) as u64;
+                let snapped = (raw / g * g).max(bounds[k - 1] + g);
+                bounds.push(snapped);
+            }
+            return bounds;
+        }
+        let mut cum = 0u64;
+        let mut slot = 0usize;
+        for k in 1..p {
+            let target = (total as u128 * k as u128 / p as u128) as u64;
+            while slot < self.weights.len() && cum + self.weights[slot] < target {
+                cum += self.weights[slot];
+                slot += 1;
+            }
+            let cut = if slot >= self.weights.len() {
+                self.key_space
+            } else {
+                let (lo, hi) = self.slot_range(slot);
+                let w = self.weights[slot];
+                if w == 0 || hi <= lo {
+                    lo
+                } else {
+                    // Interpolate the cut position inside the slot.
+                    let frac = (target - cum) as f64 / w as f64;
+                    lo + ((hi - lo) as f64 * frac) as u64
+                }
+            };
+            let snapped = (cut / g * g).max(bounds[k - 1] + g);
+            bounds.push(snapped);
+        }
+        bounds
+    }
+}
+
+/// Imbalance metric: hottest partition's load over the mean (1.0 = perfectly
+/// balanced; `P` = everything on one of `P` partitions).
+pub fn imbalance(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let total: f64 = loads.iter().sum();
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let mean = total / loads.len() as f64;
+    loads.iter().cloned().fold(0.0f64, f64::max) / mean
+}
+
+/// A candidate repartitioning, fully priced.
+#[derive(Debug, Clone)]
+pub struct CandidatePlan {
+    pub new_bounds: Vec<u64>,
+    /// Imbalance under the current boundaries.
+    pub imbalance_before: f64,
+    /// Predicted imbalance under `new_bounds`.
+    pub imbalance_after: f64,
+    /// Records whose partition assignment changes (estimate from boundary
+    /// shifts, assuming keys uniformly dense over the key space).
+    pub est_affected_records: f64,
+    /// Cost-model price of the move, in record-move-equivalent units.
+    pub movement_cost: f64,
+    /// Predicted per-window access-load reduction on the hottest partition.
+    pub predicted_gain: f64,
+}
+
+impl CandidatePlan {
+    /// Whether the plan pays for itself: the predicted load taken off the
+    /// hottest partition over `benefit_horizon` histogram windows must exceed
+    /// the movement cost weighted by `move_cost_weight` (cost-model units per
+    /// access).
+    pub fn net_benefit(&self, benefit_horizon: f64, move_cost_weight: f64) -> f64 {
+        self.predicted_gain * benefit_horizon - self.movement_cost * move_cost_weight
+    }
+}
+
+/// Map an execution design's heap policy onto the cost model's system kinds.
+/// (The conventional/logical designs never get here — the controller only
+/// runs for partitioned designs — but `PlpRegular` is the cheapest fallback.)
+pub fn system_kind_for(latch_free_heap: bool, leaf_owned: bool) -> SystemKind {
+    match (latch_free_heap, leaf_owned) {
+        (true, true) => SystemKind::PlpLeaf,
+        (true, false) => SystemKind::PlpPartition,
+        _ => SystemKind::PlpRegular,
+    }
+}
+
+/// Build and price a candidate plan.
+///
+/// * `snapshot` — the (group-aggregated) access histogram,
+/// * `old_bounds` — current boundaries of the driver table,
+/// * `granularity` — the driver table's partition granularity,
+/// * `params` — cost-model parameters describing the driver table's tree,
+/// * `kind` — which system of Table 2 prices the move,
+/// * `group_entry_count` — records across the driver table *and* its aligned
+///   dependents: repartitioning slices/melds (and, design permitting, moves
+///   records of) every table of the group, so the cost side must cover the
+///   same scope the gain side's aggregated histogram does,
+/// * `group_tables` — number of tables in the alignment group (each pays the
+///   per-boundary slice/meld and pointer work).
+///
+/// Returns `None` when the histogram carries no signal or the plan would not
+/// change any boundary.
+#[allow(clippy::too_many_arguments)]
+pub fn make_plan(
+    snapshot: &LoadSnapshot,
+    old_bounds: &[u64],
+    granularity: u64,
+    params: &CostModelParams,
+    kind: SystemKind,
+    group_entry_count: u64,
+    group_tables: u64,
+) -> Option<CandidatePlan> {
+    if snapshot.total() == 0 || old_bounds.is_empty() {
+        return None;
+    }
+    let first = old_bounds[0];
+    let new_bounds = snapshot.plan_bounds(old_bounds.len(), granularity, first);
+    if new_bounds == old_bounds {
+        return None;
+    }
+    let loads_before = snapshot.partition_loads(old_bounds);
+    let loads_after = snapshot.partition_loads(&new_bounds);
+    let imbalance_before = imbalance(&loads_before);
+    let imbalance_after = imbalance(&loads_after);
+
+    // Records whose owner changes: the key span swept by each boundary move,
+    // scaled by the group's average record density per driver key (sibling
+    // keys are `driver_key * granularity + rest`, so a swept driver unit
+    // sweeps the matching sibling records too).
+    let density = group_entry_count as f64 / snapshot.key_space.max(1) as f64;
+    let mut swept_keys = 0.0;
+    let mut moved_boundaries = 0u64;
+    for (o, n) in old_bounds.iter().zip(new_bounds.iter()) {
+        if o != n {
+            swept_keys += o.abs_diff(*n) as f64;
+            moved_boundaries += 1;
+        }
+    }
+    let est_affected_records = swept_keys * density;
+
+    // Price the move with the analytical model: the design determines which
+    // fraction of the affected records physically move (PLP-Regular none,
+    // PLP-Leaf only boundary leaves, PLP-Partition all of them), and every
+    // moved boundary pays the per-boundary index-entry and pointer work.
+    let cost = RepartitionCost::evaluate(kind, params);
+    let full = params.records_moved_full().max(1);
+    let move_ratio = cost.records_moved as f64 / full as f64;
+    // Each physically moved record also pays its index maintenance.
+    let index_ops_per_record = if cost.records_moved > 0 {
+        (cost.primary_changes.total_ops() + cost.secondary_changes.total_ops()) as f64
+            / cost.records_moved as f64
+    } else {
+        0.0
+    };
+    // Every table of the group is sliced/melded at every moved boundary.
+    let per_boundary = (cost.entries_moved + cost.pointer_updates) as f64;
+    let movement_cost = est_affected_records * move_ratio * (1.0 + index_ops_per_record)
+        + per_boundary * moved_boundaries as f64 * group_tables.max(1) as f64;
+
+    let max_before = loads_before.iter().cloned().fold(0.0f64, f64::max);
+    let max_after = loads_after.iter().cloned().fold(0.0f64, f64::max);
+    Some(CandidatePlan {
+        new_bounds,
+        imbalance_before,
+        imbalance_after,
+        est_affected_records,
+        movement_cost,
+        predicted_gain: (max_before - max_after).max(0.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_tail_snapshot() -> LoadSnapshot {
+        // 16 slots over keys 0..1600; the last two slots carry 90% of load.
+        let mut w = vec![10u64; 16];
+        w[14] = 700;
+        w[15] = 740;
+        LoadSnapshot::new(1_600, w)
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        assert!((imbalance(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-9);
+        assert!((imbalance(&[4.0, 0.0, 0.0, 0.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(imbalance(&[]), 1.0);
+        assert_eq!(imbalance(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn partition_loads_split_slots_proportionally() {
+        let snap = LoadSnapshot::new(100, vec![100]);
+        let loads = snap.partition_loads(&[0, 25]);
+        assert!((loads[0] - 25.0).abs() < 1e-9);
+        assert!((loads[1] - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_bounds_equalize_a_hot_tail() {
+        let snap = hot_tail_snapshot();
+        let bounds = snap.plan_bounds(4, 1, 0);
+        assert_eq!(bounds.len(), 4);
+        assert_eq!(bounds[0], 0);
+        // Most cuts must land inside the hot tail (keys 1400..1600).
+        assert!(
+            bounds[2] >= 1_300 && bounds[3] > bounds[2],
+            "cuts should target the hot range: {bounds:?}"
+        );
+        let loads = snap.partition_loads(&bounds);
+        let after = imbalance(&loads);
+        let before = imbalance(&snap.partition_loads(&[0, 400, 800, 1_200]));
+        assert!(
+            after < before / 2.0,
+            "planned imbalance {after:.2} vs uniform {before:.2}"
+        );
+    }
+
+    #[test]
+    fn plan_bounds_respect_granularity_and_monotonicity() {
+        let snap = hot_tail_snapshot();
+        let bounds = snap.plan_bounds(4, 32, 0);
+        for w in bounds.windows(2) {
+            assert!(w[1] > w[0], "strictly increasing: {bounds:?}");
+        }
+        for &b in &bounds {
+            assert_eq!(b % 32, 0, "granularity-aligned: {bounds:?}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_plans_uniform() {
+        let snap = LoadSnapshot::new(1_000, vec![0; 10]);
+        let bounds = snap.plan_bounds(4, 1, 0);
+        assert_eq!(bounds, vec![0, 250, 500, 750]);
+    }
+
+    #[test]
+    fn make_plan_prices_designs_differently() {
+        let snap = hot_tail_snapshot();
+        let old = vec![0, 400, 800, 1_200];
+        let params = CostModelParams {
+            levels: 2,
+            entries_per_node: 64,
+            entries_to_move: [32, 32, 0, 0, 0, 0, 0, 0],
+            record_size: 100,
+            entry_size: 32,
+            has_secondary: false,
+        };
+        let regular =
+            make_plan(&snap, &old, 1, &params, SystemKind::PlpRegular, 1_600, 1).unwrap();
+        let partition =
+            make_plan(&snap, &old, 1, &params, SystemKind::PlpPartition, 1_600, 1).unwrap();
+        assert_eq!(regular.new_bounds, partition.new_bounds);
+        assert!(
+            regular.movement_cost < partition.movement_cost,
+            "PLP-Regular ({:.0}) must be cheaper than PLP-Partition ({:.0})",
+            regular.movement_cost,
+            partition.movement_cost
+        );
+        assert!(regular.imbalance_after < regular.imbalance_before);
+        assert!(regular.predicted_gain > 0.0);
+        // With a long enough horizon the cheap plan is always worth it...
+        assert!(regular.net_benefit(1_000.0, 1.0) > 0.0);
+        // ...and a punishing cost weight vetoes the expensive one.
+        assert!(partition.net_benefit(1.0, 1e6) < 0.0);
+    }
+
+    #[test]
+    fn group_scope_raises_movement_cost() {
+        // Same plan, but priced for a 4-table alignment group with 40x the
+        // records: the cost side must grow with the group, so a plan a lone
+        // table would accept can be vetoed for the group.
+        let snap = hot_tail_snapshot();
+        let old = vec![0, 400, 800, 1_200];
+        let params = CostModelParams {
+            levels: 2,
+            entries_per_node: 64,
+            entries_to_move: [32, 32, 0, 0, 0, 0, 0, 0],
+            record_size: 100,
+            entry_size: 32,
+            has_secondary: false,
+        };
+        let lone =
+            make_plan(&snap, &old, 1, &params, SystemKind::PlpPartition, 1_600, 1).unwrap();
+        let group =
+            make_plan(&snap, &old, 1, &params, SystemKind::PlpPartition, 64_000, 4).unwrap();
+        assert_eq!(lone.new_bounds, group.new_bounds);
+        assert!(
+            group.movement_cost > 30.0 * lone.movement_cost,
+            "group cost {:.0} must scale with group records vs {:.0}",
+            group.movement_cost,
+            lone.movement_cost
+        );
+        assert!(group.net_benefit(8.0, 1.0) < lone.net_benefit(8.0, 1.0));
+    }
+
+    #[test]
+    fn make_plan_returns_none_without_signal_or_change() {
+        let params = CostModelParams::table1_scenario();
+        let empty = LoadSnapshot::new(1_000, vec![0; 8]);
+        assert!(
+            make_plan(&empty, &[0, 500], 1, &params, SystemKind::PlpRegular, 100, 1).is_none()
+        );
+        // A perfectly balanced snapshot re-plans the same bounds -> None.
+        let uniform = LoadSnapshot::new(1_000, vec![100; 10]);
+        assert!(
+            make_plan(&uniform, &[0, 500], 100, &params, SystemKind::PlpRegular, 100, 1).is_none()
+        );
+    }
+}

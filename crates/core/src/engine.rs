@@ -10,6 +10,7 @@ use crate::action::{ActionOutput, TransactionPlan};
 use crate::catalog::{Design, EngineConfig, TableId, TableSpec};
 use crate::ctx::ConventionalCtx;
 use crate::database::Database;
+use crate::dlb::{HistogramSet, LoadBalancerHandle};
 use crate::error::EngineError;
 use crate::partition::PartitionManager;
 use crate::worker::ActionReply;
@@ -17,28 +18,53 @@ use crate::worker::ActionReply;
 /// A running instance of one execution design over one database.
 pub struct Engine {
     db: Arc<Database>,
-    partition_mgr: Option<PartitionManager>,
     design: Design,
+    // Field order matters for drop: the DLB controller must stop before the
+    // partition workers it repartitions are torn down.
+    dlb: Option<LoadBalancerHandle>,
+    partition_mgr: Option<Arc<PartitionManager>>,
 }
 
 impl Engine {
     /// Create the database for `schema` and start the engine (worker threads
-    /// for the partitioned designs).  Load data through
+    /// for the partitioned designs; the dynamic-load-balancing controller
+    /// when [`EngineConfig::dlb`] is enabled).  Load data through
     /// [`Database::load_record`] (or a workload loader) and then call
-    /// [`Engine::finish_loading`] before measuring.
+    /// [`Engine::finish_loading`] before measuring — the DLB controller
+    /// starts paused and only begins observing load after `finish_loading`.
     pub fn start(config: EngineConfig, schema: &[TableSpec]) -> Self {
         let design = config.design;
         let partitions = config.partitions;
+        let dlb_config = config.dlb.clone();
         let db = Database::create(config, schema);
-        let partition_mgr = if design.is_partitioned() {
-            Some(PartitionManager::new(db.clone(), design, partitions))
+        let (partition_mgr, dlb) = if design.is_partitioned() {
+            let mut pm = PartitionManager::new(db.clone(), design, partitions);
+            let histograms = if dlb_config.enabled {
+                let key_spaces: Vec<u64> =
+                    db.tables().iter().map(|t| t.spec().key_space).collect();
+                let h = Arc::new(HistogramSet::new(
+                    &key_spaces,
+                    dlb_config.top_buckets,
+                    dlb_config.sub_buckets,
+                ));
+                pm.attach_histograms(h.clone());
+                Some(h)
+            } else {
+                None
+            };
+            let pm = Arc::new(pm);
+            let dlb = histograms.map(|h| {
+                LoadBalancerHandle::start(db.clone(), pm.clone(), h, design, dlb_config, true)
+            });
+            (Some(pm), dlb)
         } else {
-            None
+            (None, None)
         };
         Self {
             db,
-            partition_mgr,
             design,
+            dlb,
+            partition_mgr,
         }
     }
 
@@ -51,16 +77,29 @@ impl Engine {
     }
 
     pub fn partition_manager(&self) -> Option<&PartitionManager> {
-        self.partition_mgr.as_ref()
+        self.partition_mgr.as_deref()
     }
 
-    /// Finish the loading phase: assign latch-free page ownership (PLP) and
-    /// reset all statistics so the measured run starts from zero.
+    /// Handle to the dynamic-load-balancing controller, when enabled via
+    /// [`EngineConfig::dlb`].  Use it to pause/resume the controller around
+    /// phases the balancer should not react to; its activity counters live in
+    /// the shared stats registry (`db().stats().dlb()`).
+    pub fn dlb(&self) -> Option<&LoadBalancerHandle> {
+        self.dlb.as_ref()
+    }
+
+    /// Finish the loading phase: assign latch-free page ownership (PLP),
+    /// reset all statistics so the measured run starts from zero, and unpause
+    /// the DLB controller (if enabled) now that the load phase's access
+    /// pattern can no longer pollute the histograms.
     pub fn finish_loading(&self) {
         if let Some(pm) = &self.partition_mgr {
             pm.assign_ownership();
         }
         self.db.reset_stats();
+        if let Some(dlb) = &self.dlb {
+            dlb.resume();
+        }
     }
 
     /// Open a session (one per client thread).  Sessions hold per-agent state
@@ -96,9 +135,13 @@ impl Engine {
         }
     }
 
-    /// Shut down worker threads (idempotent; also happens on drop).
+    /// Shut down the DLB controller and worker threads (idempotent; also
+    /// happens on drop).
     pub fn shutdown(&mut self) {
-        if let Some(pm) = &mut self.partition_mgr {
+        if let Some(dlb) = self.dlb.take() {
+            dlb.stop();
+        }
+        if let Some(pm) = &self.partition_mgr {
             pm.shutdown();
         }
     }
@@ -201,14 +244,21 @@ impl Session<'_> {
         let mut abort: Option<EngineError> = None;
         loop {
             // Dispatch the whole stage, then wait at the rendezvous point.
+            // The dispatch guard pins the routing tables for the route+send
+            // window so a concurrent (DLB-triggered) repartition can never
+            // slip between routing an action and enqueueing it; it is
+            // dropped before blocking on replies.
             let mut pending = Vec::with_capacity(plan.actions.len());
-            for action in plan.actions {
-                total_actions += 1;
-                let worker = pm.route(action.table, action.routing_key);
-                let reply =
-                    pm.worker(worker)
-                        .send_action(txn.id(), action.run, db.stats().as_ref());
-                pending.push(reply);
+            {
+                let _gate = pm.dispatch_guard();
+                for action in plan.actions {
+                    total_actions += 1;
+                    let worker = pm.route(action.table, action.routing_key);
+                    let reply =
+                        pm.worker(worker)
+                            .send_action(txn.id(), action.run, db.stats().as_ref());
+                    pending.push(reply);
+                }
             }
             let mut stage_outputs = Vec::with_capacity(pending.len());
             for reply in pending {

@@ -22,6 +22,7 @@ pub mod action;
 pub mod catalog;
 pub mod ctx;
 pub mod database;
+pub mod dlb;
 pub mod engine;
 pub mod error;
 pub mod partition;
@@ -31,6 +32,7 @@ pub mod worker;
 pub use action::{Action, ActionOutput, DataContext, TransactionPlan};
 pub use catalog::{Design, EngineConfig, IndexKind, TableId, TableSpec};
 pub use database::Database;
+pub use dlb::{DlbConfig, LoadBalancerHandle};
 pub use engine::Engine;
 pub use error::EngineError;
 pub use partition::PartitionManager;

@@ -8,6 +8,7 @@
 //! update the routing tables and resume (Section 3.1 and Appendix A.3).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -15,8 +16,9 @@ use plp_btree::PartitionId;
 use plp_storage::{Access, OwnerToken, PageId, PlacementHint, PlacementPolicy, Rid};
 use plp_storage::SlottedPage;
 
-use crate::catalog::{Design, TableId};
+use crate::catalog::{Design, TableId, TableSpec};
 use crate::database::Database;
+use crate::dlb::HistogramSet;
 use crate::error::EngineError;
 use crate::worker::WorkerHandle;
 
@@ -43,6 +45,23 @@ pub struct PartitionManager {
     design: Design,
     workers: Vec<WorkerHandle>,
     routing: RwLock<HashMap<TableId, Routing>>,
+    /// Closes the route→enqueue window against concurrent repartitioning.
+    ///
+    /// Coordinators hold the read side while routing *and enqueueing* a
+    /// stage's actions; [`Self::repartition`] takes the write side before
+    /// quiescing.  Worker queues are FIFO, so every action enqueued under the
+    /// old boundaries is executed before the worker parks at the quiesce
+    /// message — i.e. before any ownership changes.  Without this, an action
+    /// routed just before a background repartition could reach its worker
+    /// after ownership moved and fault on a latch-free page access.
+    dispatch_gate: RwLock<()>,
+    /// DLB access histograms, fed from [`Self::route`] (the worker routing
+    /// path).  `None` unless dynamic load balancing is enabled.
+    histograms: Option<Arc<HistogramSet>>,
+    /// Test/bench hook: when `>= 0`, the repartition whose per-table progress
+    /// reaches this count fails with an injected error (exercising the
+    /// repartition journal's rollback).  `-1` = disabled.
+    fail_after_tables: AtomicI64,
 }
 
 impl PartitionManager {
@@ -66,7 +85,43 @@ impl PartitionManager {
             design,
             workers,
             routing: RwLock::new(routing),
+            dispatch_gate: RwLock::new(()),
+            histograms: None,
+            fail_after_tables: AtomicI64::new(-1),
         }
+    }
+
+    /// Guard coordinators must hold while routing and enqueueing one stage's
+    /// actions (see the `dispatch_gate` field docs).  Uncontended except
+    /// while a repartition is in flight.
+    pub fn dispatch_guard(&self) -> parking_lot::RwLockReadGuard<'_, ()> {
+        self.dispatch_gate.read()
+    }
+
+    /// Attach the DLB access histograms; [`Self::route`] records into them
+    /// from then on.  Called by the engine during startup, before the manager
+    /// is shared.
+    pub(crate) fn attach_histograms(&mut self, histograms: Arc<HistogramSet>) {
+        self.histograms = Some(histograms);
+    }
+
+    /// Test/bench hook: make the next repartition fail (with an injected
+    /// error) once `tables` tables of the alignment group have been
+    /// repartitioned — `0` fails before the driver table, `1` after the
+    /// driver but before the first sibling, and so on.  One-shot.
+    #[doc(hidden)]
+    pub fn inject_repartition_failure_after(&self, tables: usize) {
+        self.fail_after_tables.store(tables as i64, Ordering::Relaxed);
+    }
+
+    /// Consume a pending injected failure if per-table progress reached it.
+    fn take_injected_failure(&self, tables_done: usize) -> Result<(), EngineError> {
+        let fail_after = self.fail_after_tables.load(Ordering::Relaxed);
+        if fail_after >= 0 && tables_done as i64 >= fail_after {
+            self.fail_after_tables.store(-1, Ordering::Relaxed);
+            return Err(EngineError::Abort("injected repartition failure".into()));
+        }
+        Ok(())
     }
 
     pub fn worker_count(&self) -> usize {
@@ -81,8 +136,13 @@ impl PartitionManager {
         self.workers[index].token
     }
 
-    /// The worker that owns `key` of `table`.
+    /// The worker that owns `key` of `table`.  When dynamic load balancing is
+    /// enabled this is also where access counts are fed into the aging
+    /// histograms (one relaxed atomic increment on the routing path).
     pub fn route(&self, table: TableId, key: u64) -> usize {
+        if let Some(h) = &self.histograms {
+            h.record(table, key);
+        }
         let routing = self.routing.read();
         routing
             .get(&table)
@@ -156,31 +216,49 @@ impl PartitionManager {
         self.workers.iter().map(|w| w.quiesce()).collect()
     }
 
+    /// Whether `spec` belongs to `driver`'s declared alignment group (and is
+    /// not the driver itself).  The group is the driver's root table plus
+    /// every table whose [`TableSpec::partitioned_with`] names that root.
+    fn in_alignment_group(spec: &TableSpec, driver: &TableSpec) -> bool {
+        if spec.id == driver.id {
+            return false;
+        }
+        let root = driver.partitioned_with.unwrap_or(driver.id);
+        spec.id == root || spec.partitioned_with == Some(root)
+    }
+
     /// Repartition the schema around `table_id`'s new boundary set (exactly
     /// one boundary per worker, starting at the same minimum key).
     ///
-    /// Every *aligned* sibling table is repartitioned to boundaries scaled by
-    /// the ratio of its `partition_granularity` to the driver table's:
-    /// workloads encode composite keys as `driver_key * granularity + rest`
-    /// (see [`crate::catalog::TableSpec::partition_granularity`]), so scaling
+    /// Every table of `table_id`'s *declared alignment group* (its root plus
+    /// all tables whose [`TableSpec::partitioned_with`] names that root) is
+    /// repartitioned to boundaries scaled by the ratio of its
+    /// `partition_granularity` to the driver table's: workloads encode
+    /// composite keys as `driver_key * granularity + rest` (see
+    /// [`crate::catalog::TableSpec::partition_granularity`]), so scaling
     /// keeps those tables' partitions aligned. Without the propagation, an
     /// action routed by the driver table's new boundaries would make
     /// latch-free accesses to sibling-table pages still owned by another
-    /// worker. A table is aligned when it spans the same number of driver
-    /// units (`key_space / granularity`) as the driver table; independent
-    /// tables routed by their own key space — e.g. TPC-C's `item` — are left
-    /// untouched.
+    /// worker. Independent tables — e.g. TPC-C's `item`, which declares no
+    /// alignment — are left untouched.
     ///
     /// * Logical-only: only the routing tables change.
     /// * PLP designs: each MRBTree is sliced/melded to its new boundaries,
     ///   heap records are relocated as required by the placement policy, and
     ///   page ownership is re-assigned.
     ///
-    /// Returns the number of heap records physically moved. On `Err`, each
-    /// table's routing is re-derived from its tree's actual partition table
-    /// (so routing matches ownership even after a partial slice/meld), but
-    /// cross-table alignment may be broken — callers should treat a
-    /// repartition error as fatal for latch-free execution.
+    /// Returns the number of heap records physically moved.
+    ///
+    /// Failure atomicity: the old boundaries of every table are journalled
+    /// before it is touched. If a sibling slice/meld fails, the journal is
+    /// replayed in reverse, driving the already-repartitioned tables back to
+    /// their previous boundaries, so on `Err` the engine keeps serving with
+    /// the *old* partitioning and cross-table alignment intact. Only if the
+    /// rollback itself also fails is each table's routing re-derived from its
+    /// tree's actual partition table (per-table routing == ownership still
+    /// holds, but cross-table alignment may be broken — callers should treat
+    /// *that* as fatal for latch-free execution; it is reported by a
+    /// `routing re-derived` marker in the error's display).
     pub fn repartition(&self, table_id: TableId, new_bounds: &[u64]) -> Result<usize, EngineError> {
         assert_eq!(
             new_bounds.len(),
@@ -199,44 +277,61 @@ impl PartitionManager {
             );
         }
 
+        // Block new action dispatches for the whole repartition: actions
+        // already enqueued run before the workers park (FIFO), actions not
+        // yet routed wait and see the new boundaries and ownership.
+        let _dispatch_gate = self.dispatch_gate.write();
         let resumers = self.quiesce_all();
         // Workers are parked until `resumers` fire, so errors must not return
         // before the resume loop.
+        let mut journal: Vec<(TableId, Vec<u64>)> = Vec::new();
         let result = (|| {
+            self.take_injected_failure(0)?;
+            journal.push((table_id, self.bounds(table_id)));
             let mut records_moved = self.repartition_one(table_id, new_bounds)?;
+            let mut tables_done = 1usize;
             for table in self.db.tables() {
                 let spec = table.spec();
-                // Propagate only to tables spanning the same driver units;
-                // `a/b == c/d` checked as `a*d == c*b` to avoid truncation.
-                let aligned = spec.key_space * driver.partition_granularity
-                    == driver.key_space * spec.partition_granularity;
-                if spec.id == table_id || !aligned {
+                if !Self::in_alignment_group(spec, &driver) {
                     continue;
                 }
+                self.take_injected_failure(tables_done)?;
                 let scaled: Vec<u64> = new_bounds
                     .iter()
                     .map(|&b| b / driver.partition_granularity * spec.partition_granularity)
                     .collect();
+                journal.push((spec.id, self.bounds(spec.id)));
                 records_moved += self.repartition_one(spec.id, &scaled)?;
+                tables_done += 1;
             }
             Ok(records_moved)
         })();
         if result.is_err() {
-            // A slice/meld may have failed partway through a table, leaving
-            // its tree with boundaries the routing map has never seen. Routing
-            // and ownership are both derived from partition indexes, so
-            // re-deriving routing from each tree's actual partition table
-            // restores the per-table routing == ownership invariant.
-            let mut routing = self.routing.write();
-            for table in self.db.tables() {
-                if let Some(mrb) = table.primary().as_mrb() {
-                    let starts = mrb
-                        .partition_table()
-                        .ranges()
-                        .iter()
-                        .map(|r| r.start_key)
-                        .collect();
-                    routing.insert(table.spec().id, Routing { starts });
+            if self.rollback_journal(&journal).is_ok() {
+                // Count only rollbacks that actually undid something (a
+                // failure before the first table is journalled has nothing
+                // to roll back).
+                if !journal.is_empty() {
+                    self.db.stats().dlb().rollback();
+                }
+            } else {
+                // Rollback failed too: a slice/meld left some tree with
+                // boundaries the routing map has never seen. Routing and
+                // ownership are both derived from partition indexes, so
+                // re-deriving routing from each tree's actual partition table
+                // restores the per-table routing == ownership invariant
+                // (cross-table alignment may be broken).
+                let mut routing = self.routing.write();
+                for table in self.db.tables() {
+                    if let Some(mrb) = table.primary().as_mrb() {
+                        let starts = mrb
+                            .partition_table()
+                            .ranges()
+                            .iter()
+                            .map(|r| r.start_key)
+                            .collect();
+                        routing.insert(table.spec().id, Routing { starts });
+                    }
                 }
             }
         }
@@ -247,13 +342,31 @@ impl PartitionManager {
         result
     }
 
+    /// Replay the repartition journal in reverse, driving every table that
+    /// was already repartitioned back to its previous boundaries.  Workers
+    /// must still be quiesced; the caller re-assigns ownership afterwards.
+    fn rollback_journal(&self, journal: &[(TableId, Vec<u64>)]) -> Result<(), EngineError> {
+        for (table_id, old_bounds) in journal.iter().rev() {
+            self.drive_to_bounds(*table_id, old_bounds)?;
+        }
+        Ok(())
+    }
+
     /// Slice/meld one table to `new_bounds` and update its routing entry.
     /// Callers must have quiesced the workers and re-assign ownership after.
     fn repartition_one(&self, table_id: TableId, new_bounds: &[u64]) -> Result<usize, EngineError> {
-        let old_bounds = self.bounds(table_id);
-        if old_bounds == new_bounds {
+        if self.bounds(table_id) == new_bounds {
             return Ok(0);
         }
+        self.drive_to_bounds(table_id, new_bounds)
+    }
+
+    /// Drive one table's tree and routing to `new_bounds` regardless of what
+    /// the routing map currently says (the slice/meld loop works off the
+    /// tree's actual partition table, so this also recovers a partially
+    /// repartitioned table during journal rollback).
+    fn drive_to_bounds(&self, table_id: TableId, new_bounds: &[u64]) -> Result<usize, EngineError> {
+        let old_bounds = self.bounds(table_id);
         let mut records_moved = 0usize;
         let table = self.db.table(table_id)?;
         let physical =
@@ -416,9 +529,9 @@ impl PartitionManager {
         total
     }
 
-    /// Shut every worker down (joins their threads).
-    pub fn shutdown(&mut self) {
-        for w in &mut self.workers {
+    /// Shut every worker down (joins their threads; idempotent).
+    pub fn shutdown(&self) {
+        for w in &self.workers {
             w.shutdown();
         }
     }

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 use plp_instrument::CsCategory;
 use plp_lock::LocalLockTable;
 use plp_storage::{OwnerToken, PageCleaner, PageId};
@@ -56,7 +57,9 @@ pub struct WorkerHandle {
     pub index: usize,
     pub token: OwnerToken,
     sender: Sender<WorkerRequest>,
-    thread: Option<JoinHandle<()>>,
+    /// Behind a mutex so shutdown works through a shared reference (the
+    /// partition manager is shared with the DLB controller thread).
+    thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl WorkerHandle {
@@ -72,7 +75,7 @@ impl WorkerHandle {
             index,
             token,
             sender: tx,
-            thread: Some(thread),
+            thread: Mutex::new(Some(thread)),
         }
     }
 
@@ -117,10 +120,10 @@ impl WorkerHandle {
         resume_tx
     }
 
-    /// Ask the worker to shut down and join its thread.
-    pub fn shutdown(&mut self) {
+    /// Ask the worker to shut down and join its thread (idempotent).
+    pub fn shutdown(&self) {
         let _ = self.sender.send(WorkerRequest::Shutdown);
-        if let Some(t) = self.thread.take() {
+        if let Some(t) = self.thread.lock().take() {
             let _ = t.join();
         }
     }

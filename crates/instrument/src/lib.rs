@@ -31,8 +31,8 @@ pub mod timer;
 pub use breakdown::{BreakdownSnapshot, TimeBreakdown, TimeBucket};
 pub use report::{format_table, Cell, Table};
 pub use stats::{
-    ContentionClass, CsCategory, CsStats, CsStatsSnapshot, LatchStats, LatchStatsSnapshot,
-    PageKind, StatsRegistry, StatsSnapshot,
+    ContentionClass, CsCategory, CsStats, CsStatsSnapshot, DlbStats, DlbStatsSnapshot,
+    LatchStats, LatchStatsSnapshot, PageKind, StatsRegistry, StatsSnapshot,
 };
 pub use sync::{InstrumentedMutex, InstrumentedRwLock};
 pub use timer::ScopedTimer;

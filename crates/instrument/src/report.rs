@@ -124,6 +124,79 @@ impl Table {
         }
         out
     }
+
+    /// Render the table as a JSON object (`{"title", "columns", "rows"}`).
+    ///
+    /// Numeric cells are emitted as JSON numbers, text cells as strings and
+    /// empty cells as `null`, so the nightly-CI artifact is machine-readable
+    /// without depending on a serialization crate.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"title\":");
+        json_string(&mut out, &self.title);
+        out.push_str(",\"columns\":[");
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, h);
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                match cell {
+                    Cell::Text(s) => json_string(&mut out, s),
+                    Cell::Int(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    Cell::Float(v) | Cell::FloatPrec(v, _) => {
+                        if v.is_finite() {
+                            let _ = write!(out, "{v}");
+                        } else {
+                            out.push_str("null");
+                        }
+                    }
+                    Cell::Empty => out.push_str("null"),
+                }
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Render `s` as a JSON string literal (quotes included).
+pub fn json_string_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    json_string(&mut out, s);
+    out
+}
+
+/// Append `s` to `out` as a JSON string literal.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Render a [`Table`] with aligned columns.
@@ -210,6 +283,24 @@ mod tests {
         assert_eq!(Cell::Float(0.5).render(), "0.5000");
         assert_eq!(Cell::Float(12.5).render(), "12.50");
         assert_eq!(Cell::Float(1200.0).render(), "1200");
+    }
+
+    #[test]
+    fn json_string_literal_escapes_control_chars() {
+        assert_eq!(json_string_literal("a\nb\"c\\\u{1}"), "\"a\\nb\\\"c\\\\\\u0001\"");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_types() {
+        let mut t = Table::new("fig \"x\"", &["design", "tps"]);
+        t.row(vec![Cell::from("a\\b"), Cell::FloatPrec(1.5, 2)]);
+        t.row(vec![Cell::from("c"), Cell::Empty]);
+        let json = t.render_json();
+        assert_eq!(
+            json,
+            "{\"title\":\"fig \\\"x\\\"\",\"columns\":[\"design\",\"tps\"],\
+             \"rows\":[[\"a\\\\b\",1.5],[\"c\",null]]}"
+        );
     }
 
     #[test]

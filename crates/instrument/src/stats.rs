@@ -366,6 +366,167 @@ impl LatchStatsSnapshot {
     }
 }
 
+/// Dynamic-load-balancing counters (the paper's Section 5 controller).
+///
+/// Updated by the background load balancer in `plp-core::dlb`; exposed here so
+/// the benchmark driver's snapshot/delta machinery covers DLB activity the
+/// same way it covers critical sections and latches.
+#[derive(Debug, Default)]
+pub struct DlbStats {
+    /// Controller evaluation rounds (histogram snapshot + imbalance check).
+    evaluations: AtomicU64,
+    /// Histogram aging (decay) rounds applied.
+    decay_rounds: AtomicU64,
+    /// Repartitions the controller actually triggered.
+    repartitions_triggered: AtomicU64,
+    /// Evaluations skipped because the load was already balanced.
+    skipped_balanced: AtomicU64,
+    /// Evaluations skipped because the cost model vetoed the candidate plan
+    /// (predicted movement cost exceeded the predicted gain).
+    skipped_cost: AtomicU64,
+    /// Evaluations skipped because a repartition happened too recently.
+    skipped_cooldown: AtomicU64,
+    /// Controller-triggered repartitions that failed (and were rolled back).
+    repartitions_failed: AtomicU64,
+    /// Failed repartitions whose journal rollback restored the old boundaries.
+    rollbacks: AtomicU64,
+    /// Most recent observed imbalance (max/mean partition load, f64 bits).
+    observed_imbalance_bits: AtomicU64,
+    /// Imbalance the last accepted plan predicted after repartitioning
+    /// (f64 bits).
+    predicted_imbalance_bits: AtomicU64,
+}
+
+impl DlbStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn evaluation(&self) {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn decay_round(&self) {
+        self.decay_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn triggered(&self) {
+        self.repartitions_triggered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn skipped_balanced(&self) {
+        self.skipped_balanced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn skipped_cost(&self) {
+        self.skipped_cost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn skipped_cooldown(&self) {
+        self.skipped_cooldown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn failed(&self) {
+        self.repartitions_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn rollback(&self) {
+        self.rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the imbalance observed in an evaluation round.
+    #[inline]
+    pub fn set_observed_imbalance(&self, imbalance: f64) {
+        self.observed_imbalance_bits
+            .store(imbalance.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Record the imbalance the accepted plan predicts after repartitioning.
+    #[inline]
+    pub fn set_predicted_imbalance(&self, imbalance: f64) {
+        self.predicted_imbalance_bits
+            .store(imbalance.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> DlbStatsSnapshot {
+        DlbStatsSnapshot {
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            decay_rounds: self.decay_rounds.load(Ordering::Relaxed),
+            repartitions_triggered: self.repartitions_triggered.load(Ordering::Relaxed),
+            skipped_balanced: self.skipped_balanced.load(Ordering::Relaxed),
+            skipped_cost: self.skipped_cost.load(Ordering::Relaxed),
+            skipped_cooldown: self.skipped_cooldown.load(Ordering::Relaxed),
+            repartitions_failed: self.repartitions_failed.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            observed_imbalance: f64::from_bits(
+                self.observed_imbalance_bits.load(Ordering::Relaxed),
+            ),
+            predicted_imbalance: f64::from_bits(
+                self.predicted_imbalance_bits.load(Ordering::Relaxed),
+            ),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.evaluations.store(0, Ordering::Relaxed);
+        self.decay_rounds.store(0, Ordering::Relaxed);
+        self.repartitions_triggered.store(0, Ordering::Relaxed);
+        self.skipped_balanced.store(0, Ordering::Relaxed);
+        self.skipped_cost.store(0, Ordering::Relaxed);
+        self.skipped_cooldown.store(0, Ordering::Relaxed);
+        self.repartitions_failed.store(0, Ordering::Relaxed);
+        self.rollbacks.store(0, Ordering::Relaxed);
+        self.observed_imbalance_bits.store(0, Ordering::Relaxed);
+        self.predicted_imbalance_bits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of [`DlbStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DlbStatsSnapshot {
+    pub evaluations: u64,
+    pub decay_rounds: u64,
+    pub repartitions_triggered: u64,
+    pub skipped_balanced: u64,
+    pub skipped_cost: u64,
+    pub skipped_cooldown: u64,
+    pub repartitions_failed: u64,
+    pub rollbacks: u64,
+    pub observed_imbalance: f64,
+    pub predicted_imbalance: f64,
+}
+
+impl DlbStatsSnapshot {
+    /// Counter difference (`self - earlier`); the imbalance gauges keep the
+    /// later value (they are point-in-time, not cumulative).
+    pub fn delta(&self, earlier: &DlbStatsSnapshot) -> DlbStatsSnapshot {
+        DlbStatsSnapshot {
+            evaluations: self.evaluations.saturating_sub(earlier.evaluations),
+            decay_rounds: self.decay_rounds.saturating_sub(earlier.decay_rounds),
+            repartitions_triggered: self
+                .repartitions_triggered
+                .saturating_sub(earlier.repartitions_triggered),
+            skipped_balanced: self.skipped_balanced.saturating_sub(earlier.skipped_balanced),
+            skipped_cost: self.skipped_cost.saturating_sub(earlier.skipped_cost),
+            skipped_cooldown: self.skipped_cooldown.saturating_sub(earlier.skipped_cooldown),
+            repartitions_failed: self
+                .repartitions_failed
+                .saturating_sub(earlier.repartitions_failed),
+            rollbacks: self.rollbacks.saturating_sub(earlier.rollbacks),
+            observed_imbalance: self.observed_imbalance,
+            predicted_imbalance: self.predicted_imbalance,
+        }
+    }
+}
+
 /// Shared registry of all instrumentation counters for one engine instance.
 ///
 /// Cloning the `Arc<StatsRegistry>` is how every component gains access; the
@@ -374,6 +535,7 @@ impl LatchStatsSnapshot {
 pub struct StatsRegistry {
     cs: CsStats,
     latches: LatchStats,
+    dlb: DlbStats,
     committed_txns: AtomicU64,
     aborted_txns: AtomicU64,
     /// Structure-modification operations performed (page splits, slices, melds).
@@ -398,6 +560,10 @@ impl StatsRegistry {
 
     pub fn latches(&self) -> &LatchStats {
         &self.latches
+    }
+
+    pub fn dlb(&self) -> &DlbStats {
+        &self.dlb
     }
 
     #[inline]
@@ -440,6 +606,7 @@ impl StatsRegistry {
         StatsSnapshot {
             cs: self.cs.snapshot(),
             latches: self.latches.snapshot(),
+            dlb: self.dlb.snapshot(),
             committed: self.committed(),
             aborted: self.aborted(),
             smo_count: self.smo_count(),
@@ -450,6 +617,7 @@ impl StatsRegistry {
     pub fn reset(&self) {
         self.cs.reset();
         self.latches.reset();
+        self.dlb.reset();
         self.committed_txns.store(0, Ordering::Relaxed);
         self.aborted_txns.store(0, Ordering::Relaxed);
         self.smo_count.store(0, Ordering::Relaxed);
@@ -462,6 +630,7 @@ impl StatsRegistry {
 pub struct StatsSnapshot {
     pub cs: CsStatsSnapshot,
     pub latches: LatchStatsSnapshot,
+    pub dlb: DlbStatsSnapshot,
     pub committed: u64,
     pub aborted: u64,
     pub smo_count: u64,
@@ -473,6 +642,7 @@ impl StatsSnapshot {
         StatsSnapshot {
             cs: self.cs.delta(&earlier.cs),
             latches: self.latches.delta(&earlier.latches),
+            dlb: self.dlb.delta(&earlier.dlb),
             committed: self.committed.saturating_sub(earlier.committed),
             aborted: self.aborted.saturating_sub(earlier.aborted),
             smo_count: self.smo_count.saturating_sub(earlier.smo_count),
@@ -577,6 +747,47 @@ mod tests {
         assert_eq!(snap.committed, 2);
         r.reset();
         assert_eq!(r.committed(), 0);
+    }
+
+    #[test]
+    fn dlb_stats_counters_and_gauges() {
+        let d = DlbStats::new();
+        d.evaluation();
+        d.evaluation();
+        d.decay_round();
+        d.triggered();
+        d.skipped_balanced();
+        d.skipped_cost();
+        d.skipped_cooldown();
+        d.failed();
+        d.rollback();
+        d.set_observed_imbalance(2.5);
+        d.set_predicted_imbalance(1.1);
+        let a = d.snapshot();
+        assert_eq!(a.evaluations, 2);
+        assert_eq!(a.repartitions_triggered, 1);
+        assert_eq!(a.rollbacks, 1);
+        assert!((a.observed_imbalance - 2.5).abs() < f64::EPSILON);
+        assert!((a.predicted_imbalance - 1.1).abs() < f64::EPSILON);
+        d.evaluation();
+        let b = d.snapshot();
+        let delta = b.delta(&a);
+        assert_eq!(delta.evaluations, 1);
+        assert_eq!(delta.repartitions_triggered, 0);
+        // Gauges keep the later point-in-time value.
+        assert!((delta.observed_imbalance - 2.5).abs() < f64::EPSILON);
+        d.reset();
+        assert_eq!(d.snapshot().evaluations, 0);
+        assert_eq!(d.snapshot().observed_imbalance, 0.0);
+    }
+
+    #[test]
+    fn registry_snapshot_includes_dlb() {
+        let r = StatsRegistry::new();
+        r.dlb().triggered();
+        assert_eq!(r.snapshot().dlb.repartitions_triggered, 1);
+        r.reset();
+        assert_eq!(r.snapshot().dlb.repartitions_triggered, 0);
     }
 
     #[test]

@@ -9,11 +9,14 @@
 //! * [`micro`] — the paper's microbenchmarks: insert/delete-heavy CallFwd,
 //!   probe/insert mixes for the parallel-SMO experiment, and the hotspot-shift
 //!   workload of the repartitioning experiment.
+//! * [`skew`] — Zipfian and hotspot key distributions whose hot range can be
+//!   shifted mid-run (the dynamic-load-balancing adversary).
 //! * [`driver`] — multi-threaded measurement harness producing throughput and
 //!   instrumentation deltas for the benchmark binaries.
 
 pub mod driver;
 pub mod micro;
+pub mod skew;
 pub mod tatp;
 pub mod tpcb;
 pub mod tpcc;

@@ -7,12 +7,19 @@
 //!   insert percentage (Figure 10: parallel SMOs with MRBTrees).
 //! * [`BalanceProbe`] — read-only subscriber probes whose access pattern can
 //!   switch from uniform to hot-spot mid-run (Figure 8: repartitioning).
+//! * [`SkewedProbe`] — subscriber probes driven by a [`SkewedKeys`]
+//!   distribution whose hot range can *move* mid-run (the dynamic-load-
+//!   balancing experiment's adversary).
 
 use plp_core::{Action, ActionOutput, Database, EngineError, TableId, TableSpec, TransactionPlan};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::tatp::{call_forwarding_key, Tatp, CALL_FORWARDING, SUBSCRIBER};
+use crate::skew::{SkewKind, SkewedKeys};
+use crate::tatp::{
+    access_info_key, call_forwarding_key, special_facility_key, Tatp, ACCESS_INFO,
+    CALL_FORWARDING, SPECIAL_FACILITY, SUBSCRIBER,
+};
 use crate::{fields, Workload};
 
 /// Insert/delete-heavy CallFwd microbenchmark on the TATP schema.
@@ -190,6 +197,99 @@ impl Workload for BalanceProbe {
     }
 }
 
+/// Subscriber-profile probes under a shiftable skewed distribution.
+///
+/// Unlike [`BalanceProbe`] (whose hotspot can only be switched *on*), the
+/// hot range here can be relocated mid-run via [`SkewedProbe::shift_to`] —
+/// the workload the dynamic load balancer has to chase.  The read
+/// transaction fetches the subscriber's whole profile (subscriber row, its
+/// four access-info and special-facility rows, and its call-forwarding
+/// range), so per-action work is substantial enough that a worker stuck
+/// with a concentrated hotspot actually saturates; every touched key lies
+/// inside the subscriber's own aligned partition slice, so the action stays
+/// latch-free-safe under *any* repartitioning the controller chooses.  The
+/// mix is read-mostly with a small update fraction so every design
+/// exercises its full action path.
+pub struct SkewedProbe {
+    tatp: Tatp,
+    keys: SkewedKeys,
+    update_pct: u32,
+}
+
+impl SkewedProbe {
+    pub fn new(subscribers: u64, kind: SkewKind) -> Self {
+        let tatp = Tatp::new(subscribers);
+        let keys = SkewedKeys::new(tatp.subscribers(), kind);
+        Self {
+            tatp,
+            keys,
+            update_pct: 10,
+        }
+    }
+
+    /// Fraction (percent) of transactions that update the subscriber row.
+    pub fn with_update_pct(mut self, pct: u32) -> Self {
+        self.update_pct = pct.min(100);
+        self
+    }
+
+    /// Relocate the hot range so it starts at subscriber `offset`.
+    pub fn shift_to(&self, offset: u64) {
+        self.keys.shift_to(offset);
+    }
+
+    pub fn keys(&self) -> &SkewedKeys {
+        &self.keys
+    }
+
+    pub fn subscribers(&self) -> u64 {
+        self.tatp.subscribers()
+    }
+}
+
+impl Workload for SkewedProbe {
+    fn name(&self) -> &'static str {
+        "skewed subscriber probe"
+    }
+
+    fn schema(&self) -> Vec<TableSpec> {
+        self.tatp.schema()
+    }
+
+    fn load(&self, db: &Database) -> Result<(), EngineError> {
+        self.tatp.load(db)
+    }
+
+    fn next_transaction(&self, rng: &mut ChaCha8Rng) -> TransactionPlan {
+        let s_id = self.keys.sample(rng);
+        if rng.gen_range(0..100) < self.update_pct {
+            let location: u64 = rng.gen();
+            TransactionPlan::single(Action::new(SUBSCRIBER, s_id, move |ctx| {
+                let found = ctx.update(SUBSCRIBER, s_id, &mut |r| {
+                    fields::set_u64(r, crate::tatp::sub_fields::VLR_LOCATION, location);
+                })?;
+                Ok(ActionOutput::with_values(vec![u64::from(found)]))
+            }))
+        } else {
+            TransactionPlan::single(Action::new(SUBSCRIBER, s_id, move |ctx| {
+                let mut out = ActionOutput::empty();
+                out.rows.extend(ctx.read(SUBSCRIBER, s_id)?);
+                for t in 0..4 {
+                    out.rows.extend(ctx.read(ACCESS_INFO, access_info_key(s_id, t))?);
+                    out.rows
+                        .extend(ctx.read(SPECIAL_FACILITY, special_facility_key(s_id, t))?);
+                }
+                let lo = call_forwarding_key(s_id, 0, 0);
+                let hi = call_forwarding_key(s_id, 3, 23);
+                for (_, row) in ctx.range_read(CALL_FORWARDING, lo, hi)? {
+                    out.rows.push(row);
+                }
+                Ok(out)
+            }))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +312,25 @@ mod tests {
         w.enable_hotspot();
         let p = w.next_transaction(&mut rng);
         assert_eq!(p.action_count(), 1);
+    }
+
+    #[test]
+    fn skewed_probe_follows_the_shifting_hotspot() {
+        let w = SkewedProbe::new(10_000, SkewKind::HotSpot {
+            fraction: 0.05,
+            probability: 0.9,
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let routing_keys = |w: &SkewedProbe, rng: &mut ChaCha8Rng| -> Vec<u64> {
+            (0..500).map(|_| w.next_transaction(rng).actions[0].routing_key).collect()
+        };
+        let before = routing_keys(&w, &mut rng);
+        let hot_before = before.iter().filter(|&&k| k < 500).count();
+        assert!(hot_before > 350, "hotspot at the front: {hot_before}");
+        w.shift_to(8_000);
+        let after = routing_keys(&w, &mut rng);
+        let hot_after = after.iter().filter(|&&k| (8_000..8_500).contains(&k)).count();
+        assert!(hot_after > 350, "hotspot moved: {hot_after}");
     }
 
     #[test]

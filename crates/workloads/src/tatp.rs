@@ -71,25 +71,40 @@ pub fn call_forwarding_key(s_id: u64, sf_type: u64, start_time: u64) -> u64 {
 /// The TATP workload generator.
 pub struct Tatp {
     subscribers: u64,
-    /// Restrict generated subscriber ids to the first `hot_fraction` of the
-    /// key space for `hot_probability` of the requests (used by the
-    /// repartitioning experiment; `None` = uniform).
-    hotspot: Option<(f64, f64)>,
+    /// Subscriber-id distribution (uniform by default; hotspot/Zipfian for
+    /// the repartitioning and DLB experiments — the skew's hot range can be
+    /// shifted mid-run via [`Tatp::skew`]).
+    skew: crate::skew::SkewedKeys,
 }
 
 impl Tatp {
     pub fn new(subscribers: u64) -> Self {
+        let subscribers = subscribers.max(64);
         Self {
-            subscribers: subscribers.max(64),
-            hotspot: None,
+            subscribers,
+            skew: crate::skew::SkewedKeys::uniform(subscribers),
         }
     }
 
     /// Skew the access pattern: `probability` of requests target the first
     /// `fraction` of subscribers.
-    pub fn with_hotspot(mut self, fraction: f64, probability: f64) -> Self {
-        self.hotspot = Some((fraction, probability));
+    pub fn with_hotspot(self, fraction: f64, probability: f64) -> Self {
+        self.with_skew(crate::skew::SkewKind::HotSpot {
+            fraction,
+            probability,
+        })
+    }
+
+    /// Use an arbitrary skewed subscriber distribution.
+    pub fn with_skew(mut self, kind: crate::skew::SkewKind) -> Self {
+        self.skew = crate::skew::SkewedKeys::new(self.subscribers, kind);
         self
+    }
+
+    /// The subscriber-id sampler; shift its hot range mid-run with
+    /// [`crate::skew::SkewedKeys::shift_to`].
+    pub fn skew(&self) -> &crate::skew::SkewedKeys {
+        &self.skew
     }
 
     pub fn subscribers(&self) -> u64 {
@@ -98,13 +113,7 @@ impl Tatp {
 
     /// Pick a subscriber according to the (possibly skewed) access pattern.
     pub fn pick_subscriber(&self, rng: &mut ChaCha8Rng) -> u64 {
-        match self.hotspot {
-            Some((fraction, probability)) if rng.gen_bool(probability) => {
-                let hot = ((self.subscribers as f64) * fraction).max(1.0) as u64;
-                rng.gen_range(0..hot)
-            }
-            _ => rng.gen_range(0..self.subscribers),
-        }
+        self.skew.sample(rng)
     }
 
     fn subscriber_record(s_id: u64) -> Vec<u8> {
@@ -273,9 +282,15 @@ impl Workload for Tatp {
         let s = self.subscribers;
         vec![
             TableSpec::new(0, "subscriber", s).with_secondary(),
-            TableSpec::new(1, "access_info", s * 4).with_granularity(4),
-            TableSpec::new(2, "special_facility", s * 4).with_granularity(4),
-            TableSpec::new(3, "call_forwarding", s * 32).with_granularity(32),
+            TableSpec::new(1, "access_info", s * 4)
+                .with_granularity(4)
+                .aligned_with(SUBSCRIBER),
+            TableSpec::new(2, "special_facility", s * 4)
+                .with_granularity(4)
+                .aligned_with(SUBSCRIBER),
+            TableSpec::new(3, "call_forwarding", s * 32)
+                .with_granularity(32)
+                .aligned_with(SUBSCRIBER),
         ]
     }
 

@@ -122,10 +122,15 @@ impl Workload for TpcB {
         let b = self.branches;
         vec![
             TableSpec::new(0, "branch", b),
-            TableSpec::new(1, "teller", b * TELLERS_PER_BRANCH).with_granularity(TELLERS_PER_BRANCH),
+            TableSpec::new(1, "teller", b * TELLERS_PER_BRANCH)
+                .with_granularity(TELLERS_PER_BRANCH)
+                .aligned_with(BRANCH),
             TableSpec::new(2, "account", b * ACCOUNTS_PER_BRANCH)
-                .with_granularity(ACCOUNTS_PER_BRANCH),
-            TableSpec::new(3, "history", b * HISTORY_SLOTS).with_granularity(HISTORY_SLOTS),
+                .with_granularity(ACCOUNTS_PER_BRANCH)
+                .aligned_with(BRANCH),
+            TableSpec::new(3, "history", b * HISTORY_SLOTS)
+                .with_granularity(HISTORY_SLOTS)
+                .aligned_with(BRANCH),
         ]
     }
 

@@ -235,19 +235,29 @@ impl Workload for Tpcc {
         vec![
             TableSpec::new(0, "warehouse", w),
             TableSpec::new(1, "district", w * DISTRICTS_PER_WAREHOUSE)
-                .with_granularity(DISTRICTS_PER_WAREHOUSE),
+                .with_granularity(DISTRICTS_PER_WAREHOUSE)
+                .aligned_with(WAREHOUSE),
             TableSpec::new(2, "customer", w * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT)
-                .with_granularity(DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT),
+                .with_granularity(DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT)
+                .aligned_with(WAREHOUSE),
+            // `item` is routed by its own key space and deliberately declares
+            // no alignment: it must never be co-repartitioned with the
+            // warehouse group (the old ratio inference could not express
+            // this).
             TableSpec::new(3, "item", ITEMS),
-            TableSpec::new(4, "stock", w * ITEMS).with_granularity(ITEMS),
+            TableSpec::new(4, "stock", w * ITEMS)
+                .with_granularity(ITEMS)
+                .aligned_with(WAREHOUSE),
             TableSpec::new(5, "orders", w * DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT)
-                .with_granularity(DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT),
+                .with_granularity(DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT)
+                .aligned_with(WAREHOUSE),
             TableSpec::new(
                 6,
                 "order_line",
                 w * DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT * MAX_ORDER_LINES,
             )
-            .with_granularity(DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT * MAX_ORDER_LINES),
+            .with_granularity(DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT * MAX_ORDER_LINES)
+            .aligned_with(WAREHOUSE),
         ]
     }
 
