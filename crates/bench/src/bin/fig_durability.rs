@@ -1,0 +1,21 @@
+//! Durability & crash recovery: Lazy vs Synchronous vs Strict throughput,
+//! group-commit batch sizes, and a recover-from-log demonstration.  `--full`
+//! uses larger parameters.  Writes `fig_durability.md` / `.json` for the
+//! nightly-CI artifact.
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        plp_bench::Scale::full()
+    } else {
+        plp_bench::Scale::quick()
+    };
+    let tables = plp_bench::fig_durability(scale);
+    plp_bench::print_tables(&tables);
+    std::fs::write("fig_durability.md", plp_bench::markdown_tables(&tables))
+        .expect("write fig_durability.md");
+    let json = format!(
+        "{{\"sections\":[{}]}}\n",
+        plp_bench::json_section("Durability", &tables)
+    );
+    std::fs::write("fig_durability.json", json).expect("write fig_durability.json");
+    println!("\nwrote fig_durability.md and fig_durability.json");
+}

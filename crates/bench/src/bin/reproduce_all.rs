@@ -34,6 +34,7 @@ fn main() {
     section("Ablation: log protocol", plp_bench::ablation_log_protocol(scale));
     section("Ablation: padding vs PLP-Leaf", plp_bench::ablation_padding(scale));
     section("DLB: shifting hotspot", plp_bench::fig_dlb_skew(scale));
+    section("Durability & crash recovery", plp_bench::fig_durability(scale));
     std::fs::write("reproduction_results.md", md).expect("write results");
     let json = format!("{{\"sections\":[{}]}}\n", json_sections.join(","));
     std::fs::write("reproduction_results.json", json).expect("write json results");

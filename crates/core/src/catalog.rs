@@ -1,5 +1,8 @@
 //! Engine configuration and table catalogue types.
 
+use std::path::PathBuf;
+use std::time::Duration;
+
 use plp_storage::PlacementPolicy;
 use plp_wal::{DurabilityMode, InsertProtocol};
 
@@ -205,6 +208,15 @@ pub struct EngineConfig {
     /// [`crate::dlb::DlbConfig`] for the knobs (aging interval, trigger
     /// threshold, minimum time between repartitions, …).
     pub dlb: crate::dlb::DlbConfig,
+    /// Directory for the file-backed log device.  `None` (the default) keeps
+    /// the log memory-only — durability is simulated, nothing survives a
+    /// process exit.  Required for [`DurabilityMode::Strict`].
+    pub log_dir: Option<PathBuf>,
+    /// Segment roll target for the log device.
+    pub log_segment_bytes: u64,
+    /// When set (and a log device is attached), a background thread writes a
+    /// fuzzy checkpoint record this often.
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl EngineConfig {
@@ -223,6 +235,9 @@ impl EngineConfig {
             durability: DurabilityMode::Lazy,
             pad_records: false,
             dlb: crate::dlb::DlbConfig::default(),
+            log_dir: None,
+            log_segment_bytes: plp_wal::segment::DEFAULT_SEGMENT_BYTES,
+            checkpoint_interval: None,
         }
     }
 
@@ -252,6 +267,25 @@ impl EngineConfig {
 
     pub fn with_durability(mut self, durability: DurabilityMode) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Attach a file-backed log device rooted at `dir` (created on demand).
+    pub fn with_log_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.log_dir = Some(dir.into());
+        self
+    }
+
+    /// Segment roll target for the log device (small values force rolling,
+    /// used by tests).
+    pub fn with_log_segment_bytes(mut self, bytes: u64) -> Self {
+        self.log_segment_bytes = bytes.max(64);
+        self
+    }
+
+    /// Enable the background fuzzy checkpointer.
+    pub fn with_checkpoint_interval(mut self, interval: Duration) -> Self {
+        self.checkpoint_interval = Some(interval);
         self
     }
 

@@ -4,7 +4,7 @@ use plp_instrument::TimeBreakdown;
 use plp_lock::{AgentLockCache, LocalLockTable, LockId, LockMode};
 use plp_storage::{Access, OwnerToken};
 use plp_txn::Transaction;
-use plp_wal::LogRecordKind;
+use plp_wal::{LogRecord, LogRecordKind, UpdatePayload};
 
 use crate::action::DataContext;
 use crate::catalog::{Design, TableId};
@@ -63,10 +63,10 @@ impl<'a> ConventionalCtx<'a> {
         Ok(())
     }
 
-    fn log(&mut self, kind: LogRecordKind, key: u64, payload: u32) {
+    fn log(&mut self, record: LogRecord) {
         self.db
             .log_manager()
-            .log(self.txn.log_handle_mut(), kind, key, payload);
+            .log_record(self.txn.log_handle_mut(), record);
     }
 }
 
@@ -85,18 +85,28 @@ impl DataContext for ConventionalCtx<'_> {
         f: &mut dyn FnMut(&mut [u8]),
     ) -> Result<bool, EngineError> {
         self.lock(table, key, LockMode::X)?;
-        let mut changed_len = 0u32;
+        // Capture the before/after images at the storage layer so the log
+        // record carries real redo (and future undo) bytes.
+        let mut images: Option<(Vec<u8>, Vec<u8>)> = None;
         let found = self.db.table(table)?.update_with(
             key,
             Access::Latched,
             Access::Latched,
             |bytes| {
-                changed_len = bytes.len() as u32;
+                let before = bytes.to_vec();
                 f(bytes);
+                images = Some((before, bytes.to_vec()));
             },
         )?;
-        if found {
-            self.log(LogRecordKind::Update, key, changed_len);
+        if let Some((before, after)) = images {
+            self.log(LogRecord::with_payload(
+                self.txn.id(),
+                LogRecordKind::Update,
+                table.0,
+                key,
+                None,
+                UpdatePayload::encode(&before, &after),
+            ));
         }
         Ok(found)
     }
@@ -116,7 +126,14 @@ impl DataContext for ConventionalCtx<'_> {
             Access::Latched,
             Access::Latched,
         )?;
-        self.log(LogRecordKind::Insert, key, record.len() as u32);
+        self.log(LogRecord::with_payload(
+            self.txn.id(),
+            LogRecordKind::Insert,
+            table.0,
+            key,
+            secondary_key,
+            record.to_vec(),
+        ));
         Ok(())
     }
 
@@ -132,7 +149,14 @@ impl DataContext for ConventionalCtx<'_> {
                 .table(table)?
                 .delete(key, secondary_key, Access::Latched, Access::Latched)?;
         if found {
-            self.log(LogRecordKind::Delete, key, 0);
+            self.log(LogRecord::with_payload(
+                self.txn.id(),
+                LogRecordKind::Delete,
+                table.0,
+                key,
+                secondary_key,
+                Vec::new(),
+            ));
         }
         Ok(found)
     }
@@ -172,7 +196,7 @@ pub struct PartitionCtx<'a> {
     owner: OwnerToken,
     local_locks: &'a mut LocalLockTable,
     txn_id: u64,
-    log: Vec<(LogRecordKind, u64, u32)>,
+    log: Vec<LogRecord>,
 }
 
 impl<'a> PartitionCtx<'a> {
@@ -219,7 +243,7 @@ impl<'a> PartitionCtx<'a> {
     }
 
     /// Log records accumulated by the action, handed back to the coordinator.
-    pub fn take_log(&mut self) -> Vec<(LogRecordKind, u64, u32)> {
+    pub fn take_log(&mut self) -> Vec<LogRecord> {
         self.local_locks.release_all(self.txn_id);
         std::mem::take(&mut self.log)
     }
@@ -240,18 +264,28 @@ impl DataContext for PartitionCtx<'_> {
         f: &mut dyn FnMut(&mut [u8]),
     ) -> Result<bool, EngineError> {
         self.local_lock(table, key, LockMode::X);
-        let mut changed_len = 0u32;
+        // Capture the before/after images at the storage layer; the record
+        // rides back to the coordinator with the action's reply.
+        let mut images: Option<(Vec<u8>, Vec<u8>)> = None;
         let found = self.db.table(table)?.update_with(
             key,
             self.index_access(),
             self.heap_access(),
             |bytes| {
-                changed_len = bytes.len() as u32;
+                let before = bytes.to_vec();
                 f(bytes);
+                images = Some((before, bytes.to_vec()));
             },
         )?;
-        if found {
-            self.log.push((LogRecordKind::Update, key, changed_len));
+        if let Some((before, after)) = images {
+            self.log.push(LogRecord::with_payload(
+                self.txn_id,
+                LogRecordKind::Update,
+                table.0,
+                key,
+                None,
+                UpdatePayload::encode(&before, &after),
+            ));
         }
         Ok(found)
     }
@@ -271,8 +305,14 @@ impl DataContext for PartitionCtx<'_> {
             self.index_access(),
             self.heap_access(),
         )?;
-        self.log
-            .push((LogRecordKind::Insert, key, record.len() as u32));
+        self.log.push(LogRecord::with_payload(
+            self.txn_id,
+            LogRecordKind::Insert,
+            table.0,
+            key,
+            secondary_key,
+            record.to_vec(),
+        ));
         Ok(())
     }
 
@@ -290,7 +330,14 @@ impl DataContext for PartitionCtx<'_> {
             self.heap_access(),
         )?;
         if found {
-            self.log.push((LogRecordKind::Delete, key, 0));
+            self.log.push(LogRecord::with_payload(
+                self.txn_id,
+                LogRecordKind::Delete,
+                table.0,
+                key,
+                secondary_key,
+                Vec::new(),
+            ));
         }
         Ok(found)
     }

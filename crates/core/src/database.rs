@@ -35,6 +35,14 @@ impl Database {
     /// the dependent — otherwise boundary propagation could not keep the
     /// group aligned.
     pub fn create(config: EngineConfig, schema: &[TableSpec]) -> Arc<Self> {
+        Self::create_at(config, schema, 1)
+    }
+
+    /// [`Self::create`] with the first transaction id set explicitly — used
+    /// by recovery so new transactions never reuse an id from the replayed
+    /// log.  Opening a configured `log_dir` truncates any torn tail and
+    /// resumes the LSN stream after the last valid record.
+    pub fn create_at(config: EngineConfig, schema: &[TableSpec], first_txn_id: u64) -> Arc<Self> {
         for spec in schema {
             let Some(root_id) = spec.partitioned_with else {
                 continue;
@@ -59,15 +67,33 @@ impl Database {
         let stats = StatsRegistry::new_shared();
         let pool = BufferPool::new_shared(stats.clone());
         let locks = Arc::new(LockManager::new(stats.clone()));
-        let log = Arc::new(LogManager::new(
-            config.log_protocol,
-            config.durability,
-            stats.clone(),
-        ));
-        if config.durability == DurabilityMode::Synchronous {
+        let log = match &config.log_dir {
+            Some(dir) => Arc::new(
+                LogManager::with_directory(
+                    config.log_protocol,
+                    config.durability,
+                    stats.clone(),
+                    dir,
+                    config.log_segment_bytes,
+                )
+                .expect("open log device"),
+            ),
+            None => {
+                assert!(
+                    config.durability != DurabilityMode::Strict,
+                    "DurabilityMode::Strict requires EngineConfig::with_log_dir"
+                );
+                Arc::new(LogManager::new(
+                    config.log_protocol,
+                    config.durability,
+                    stats.clone(),
+                ))
+            }
+        };
+        if config.durability != DurabilityMode::Lazy || log.has_device() {
             log.start_flusher(Duration::from_micros(100));
         }
-        let txns = Arc::new(TxnManager::new(log.clone(), stats.clone()));
+        let txns = Arc::new(TxnManager::new_at(log.clone(), stats.clone(), first_txn_id));
         let tables = schema
             .iter()
             .map(|spec| {
@@ -139,6 +165,12 @@ impl Database {
     /// Bulk-load a record during database population.  Loading happens before
     /// any engine threads start, uses latched access and is excluded from the
     /// instrumented run statistics (the caller resets stats afterwards).
+    ///
+    /// With a file-backed log device attached, every load is also logged as a
+    /// record of the *loader pseudo-transaction* (txn id 0, which recovery
+    /// always replays): the log is then a complete history of the database,
+    /// so `Engine::recover` rebuilds the loaded base data and the committed
+    /// transactions from the log alone.
     pub fn load_record(
         &self,
         table: TableId,
@@ -148,6 +180,16 @@ impl Database {
     ) -> Result<(), EngineError> {
         let t = self.table(table)?;
         t.insert(key, record, secondary_key, Access::Latched, Access::Latched)?;
+        if self.log.has_device() {
+            self.log.log_system(plp_wal::LogRecord::with_payload(
+                0,
+                plp_wal::LogRecordKind::Insert,
+                table.0,
+                key,
+                secondary_key,
+                record.to_vec(),
+            ));
+        }
         Ok(())
     }
 

@@ -161,7 +161,7 @@ impl LoadBalancerHandle {
     pub fn stop(&self) {
         let _ = self.sender.send(DlbCommand::Stop);
         if let Some(t) = self.thread.lock().take() {
-            let _ = t.join();
+            crate::worker::join_unless_self(t);
         }
     }
 }

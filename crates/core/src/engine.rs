@@ -1,10 +1,15 @@
-//! The engine front-end: sessions, transaction execution, repartitioning.
+//! The engine front-end: sessions, transaction execution, repartitioning,
+//! checkpointing and crash recovery.
 
+use std::path::Path;
 use std::sync::Arc;
-use std::time::Instant;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
+use parking_lot::{Condvar, Mutex};
 use plp_lock::AgentLockCache;
 use plp_txn::Transaction;
+use plp_wal::{CheckpointData, Lsn};
 
 use crate::action::{ActionOutput, TransactionPlan};
 use crate::catalog::{Design, EngineConfig, TableId, TableSpec};
@@ -19,24 +24,54 @@ use crate::worker::ActionReply;
 pub struct Engine {
     db: Arc<Database>,
     design: Design,
-    // Field order matters for drop: the DLB controller must stop before the
-    // partition workers it repartitions are torn down.
+    // Field order matters for drop: the checkpointer and DLB controller must
+    // stop before the partition workers they observe are torn down.
+    checkpointer: Option<CheckpointerHandle>,
     dlb: Option<LoadBalancerHandle>,
     partition_mgr: Option<Arc<PartitionManager>>,
+}
+
+/// What [`Engine::recover`] found and replayed.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Committed transactions whose effects were replayed.
+    pub committed_txns: u64,
+    /// Redo records applied.
+    pub records_replayed: u64,
+    /// Transactions with logged work but no surviving outcome record (their
+    /// effects were *not* replayed).
+    pub loser_txns: u64,
+    /// LSN of the checkpoint that seeded the analysis pass, if any.
+    pub checkpoint_lsn: Option<Lsn>,
+    /// Bytes discarded from the torn tail.
+    pub torn_bytes: u64,
+    /// LSN at which logging resumed.
+    pub tail_lsn: Lsn,
+    /// Tables whose partition boundaries were restored from the log.
+    pub tables_rebounded: u64,
 }
 
 impl Engine {
     /// Create the database for `schema` and start the engine (worker threads
     /// for the partitioned designs; the dynamic-load-balancing controller
-    /// when [`EngineConfig::dlb`] is enabled).  Load data through
-    /// [`Database::load_record`] (or a workload loader) and then call
-    /// [`Engine::finish_loading`] before measuring — the DLB controller
-    /// starts paused and only begins observing load after `finish_loading`.
+    /// when [`EngineConfig::dlb`] is enabled; the background checkpointer
+    /// when a log device and [`EngineConfig::checkpoint_interval`] are
+    /// configured).  Load data through [`Database::load_record`] (or a
+    /// workload loader) and then call [`Engine::finish_loading`] before
+    /// measuring — the DLB controller starts paused and only begins
+    /// observing load after `finish_loading`.
     pub fn start(config: EngineConfig, schema: &[TableSpec]) -> Self {
+        let db = Database::create(config, schema);
+        Self::build(db)
+    }
+
+    /// Assemble the running engine (workers, DLB, checkpointer) over an
+    /// already-created database.
+    fn build(db: Arc<Database>) -> Self {
+        let config = db.config().clone();
         let design = config.design;
         let partitions = config.partitions;
         let dlb_config = config.dlb.clone();
-        let db = Database::create(config, schema);
         let (partition_mgr, dlb) = if design.is_partitioned() {
             let mut pm = PartitionManager::new(db.clone(), design, partitions);
             let histograms = if dlb_config.enabled {
@@ -60,12 +95,184 @@ impl Engine {
         } else {
             (None, None)
         };
+        let checkpointer = match (config.checkpoint_interval, db.log_manager().has_device()) {
+            (Some(interval), true) => Some(CheckpointerHandle::start(
+                db.clone(),
+                partition_mgr.clone(),
+                interval,
+            )),
+            _ => None,
+        };
         Self {
             db,
             design,
+            checkpointer,
             dlb,
             partition_mgr,
         }
+    }
+
+    /// Recover an engine from the log device in `log_dir` after a crash (or
+    /// any exit without shutdown).  Scans the segments from the last
+    /// checkpoint's analysis point, validates CRCs, tolerates a torn tail,
+    /// replays every committed transaction's physiological redo records into
+    /// a fresh database, and restores the partition boundaries recorded by
+    /// the checkpoint and any later repartition records — so the recovered
+    /// engine routes identically to the pre-crash one.  Uncommitted effects
+    /// never reappear: losers (no commit record) are not replayed.
+    ///
+    /// `config` must describe the same design/schema the log was written
+    /// under (the checkpoint's partition count is cross-checked); its
+    /// `log_dir` is overridden with `log_dir`, and logging resumes where the
+    /// valid log ends.
+    pub fn recover(
+        log_dir: impl AsRef<Path>,
+        mut config: EngineConfig,
+        schema: &[TableSpec],
+    ) -> Result<(Self, RecoveryReport), EngineError> {
+        let log_dir = log_dir.as_ref();
+        let scan = plp_wal::recovery::scan_log(log_dir)
+            .map_err(|e| EngineError::Recovery(format!("log scan failed: {e}")))?;
+        if let Some((_, ckpt)) = &scan.checkpoint {
+            if config.design.is_partitioned() && ckpt.partitions != config.partitions as u32 {
+                return Err(EngineError::Recovery(format!(
+                    "checkpoint was cut with {} partitions, config asks for {}",
+                    ckpt.partitions, config.partitions
+                )));
+            }
+        }
+        config.log_dir = Some(log_dir.to_path_buf());
+        let next_txn_id = scan
+            .max_txn_id
+            .saturating_add(1)
+            .max(scan.checkpoint.as_ref().map(|(_, c)| c.next_txn_id).unwrap_or(1));
+        let db = Database::create_at(config, schema, next_txn_id);
+
+        // Redo pass: apply committed transactions' data records in LSN
+        // order.  Single-threaded, latched access — workers do not exist
+        // yet, exactly like the loading phase.
+        let mut records_replayed = 0u64;
+        for record in scan.redo_records() {
+            Self::replay_record(&db, record)?;
+            records_replayed += 1;
+        }
+
+        let engine = Self::build(db);
+
+        // Restore partition boundaries (checkpoint overlaid with later
+        // repartition records) so routing matches the pre-crash engine.
+        // Roots go first; members then mostly no-op because the root's
+        // repartition already propagated through the alignment group.
+        let mut tables_rebounded = 0u64;
+        if let Some(pm) = &engine.partition_mgr {
+            let mut final_bounds = scan.final_bounds();
+            final_bounds.sort_by_key(|(id, _)| {
+                let is_member = engine
+                    .db
+                    .table(TableId(*id))
+                    .ok()
+                    .and_then(|t| t.spec().partitioned_with)
+                    .is_some();
+                (is_member, *id)
+            });
+            for (table, bounds) in final_bounds {
+                let Ok(t) = engine.db.table(TableId(table)) else {
+                    return Err(EngineError::Recovery(format!(
+                        "log references unknown table {table}"
+                    )));
+                };
+                if bounds.len() != pm.worker_count() {
+                    return Err(EngineError::Recovery(format!(
+                        "table {} has {} logged bounds but {} workers",
+                        t.spec().name,
+                        bounds.len(),
+                        pm.worker_count()
+                    )));
+                }
+                if pm.bounds(TableId(table)) != bounds {
+                    pm.repartition(TableId(table), &bounds)?;
+                    tables_rebounded += 1;
+                }
+            }
+            pm.assign_ownership();
+        }
+
+        let report = RecoveryReport {
+            committed_txns: scan.committed.len() as u64,
+            records_replayed,
+            loser_txns: scan.losers.len() as u64,
+            checkpoint_lsn: scan.checkpoint.as_ref().map(|(l, _)| *l),
+            torn_bytes: scan.torn_bytes,
+            tail_lsn: scan.tail_lsn,
+            tables_rebounded,
+        };
+        engine.db.stats().wal().set_recovery(
+            report.committed_txns,
+            report.records_replayed,
+            report.torn_bytes,
+        );
+        Ok((engine, report))
+    }
+
+    /// Apply one committed redo record to a fresh database.
+    fn replay_record(db: &Database, record: &plp_wal::LogRecord) -> Result<(), EngineError> {
+        use plp_storage::Access;
+        use plp_wal::{LogRecordKind, UpdatePayload};
+        let table = db.table(TableId(record.table)).map_err(|_| {
+            EngineError::Recovery(format!("redo record references unknown table {}", record.table))
+        })?;
+        match record.kind {
+            LogRecordKind::Insert => {
+                table.insert(
+                    record.page,
+                    record.payload(),
+                    record.secondary,
+                    Access::Latched,
+                    Access::Latched,
+                )?;
+            }
+            LogRecordKind::Update => {
+                let Some(images) = UpdatePayload::decode(record.payload()) else {
+                    return Err(EngineError::Recovery(format!(
+                        "undecodable update payload at {}",
+                        record.lsn
+                    )));
+                };
+                let applied = table.update_with(
+                    record.page,
+                    Access::Latched,
+                    Access::Latched,
+                    |bytes| {
+                        if bytes.len() == images.after.len() {
+                            bytes.copy_from_slice(&images.after);
+                        }
+                    },
+                )?;
+                if !applied {
+                    return Err(EngineError::Recovery(format!(
+                        "update of missing key {} in table {} at {}",
+                        record.page, record.table, record.lsn
+                    )));
+                }
+            }
+            LogRecordKind::Delete => {
+                table.delete(
+                    record.page,
+                    record.secondary,
+                    Access::Latched,
+                    Access::Latched,
+                )?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Cut a fuzzy checkpoint right now (requires a log device).  Returns
+    /// the checkpoint record's LSN.
+    pub fn checkpoint_now(&self) -> Lsn {
+        let data = gather_checkpoint(&self.db, self.partition_mgr.as_deref());
+        self.db.log_manager().write_checkpoint(data)
     }
 
     pub fn db(&self) -> &Arc<Database> {
@@ -135,15 +342,106 @@ impl Engine {
         }
     }
 
-    /// Shut down the DLB controller and worker threads (idempotent; also
-    /// happens on drop).
+    /// Shut down the checkpointer, DLB controller and worker threads
+    /// (idempotent; also happens on drop).  With a log device attached, a
+    /// final checkpoint is cut and the log flushed, so a clean shutdown
+    /// recovers without replaying the whole history's tail.
     pub fn shutdown(&mut self) {
+        if let Some(ckpt) = self.checkpointer.take() {
+            ckpt.stop();
+        }
+        if self.db.log_manager().has_device() {
+            self.checkpoint_now();
+        }
         if let Some(dlb) = self.dlb.take() {
             dlb.stop();
         }
         if let Some(pm) = &self.partition_mgr {
             pm.shutdown();
         }
+    }
+}
+
+/// Gather the fuzzy-checkpoint payload from the live engine state.
+fn gather_checkpoint(db: &Database, pm: Option<&PartitionManager>) -> CheckpointData {
+    let table_bounds = match pm {
+        Some(pm) => db
+            .tables()
+            .iter()
+            .map(|t| (t.spec().id.0, pm.bounds(t.spec().id)))
+            .collect(),
+        None => Vec::new(),
+    };
+    CheckpointData {
+        active_txns: db.txn_manager().active_txns(),
+        next_txn_id: db.txn_manager().next_txn_id(),
+        partitions: pm.map(|p| p.worker_count() as u32).unwrap_or(0),
+        table_bounds,
+        allocated_pages: db.pool().page_count() as u64,
+    }
+}
+
+/// Background thread that cuts a fuzzy checkpoint every `interval`.
+struct CheckpointerHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl CheckpointerHandle {
+    fn start(
+        db: Arc<Database>,
+        pm: Option<Arc<PartitionManager>>,
+        interval: Duration,
+    ) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("plp-checkpointer".into())
+            .spawn(move || {
+                let (lock, cv) = &*stop2;
+                loop {
+                    {
+                        let mut stopped = lock.lock();
+                        if !*stopped {
+                            cv.wait_for(&mut stopped, interval);
+                        }
+                        if *stopped {
+                            return;
+                        }
+                    }
+                    let data = gather_checkpoint(&db, pm.as_deref());
+                    db.log_manager().write_checkpoint(data);
+                }
+            })
+            .expect("spawn checkpointer");
+        Self {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn stop(mut self) {
+        self.signal_stop();
+        self.join();
+    }
+
+    fn signal_stop(&self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock() = true;
+        cv.notify_all();
+    }
+
+    fn join(&mut self) {
+        if let Some(t) = self.thread.take() {
+            crate::worker::join_unless_self(t);
+        }
+    }
+}
+
+impl Drop for CheckpointerHandle {
+    fn drop(&mut self) {
+        self.signal_stop();
+        self.join();
     }
 }
 
@@ -239,6 +537,11 @@ impl Session<'_> {
             .partition_mgr
             .as_ref()
             .expect("partitioned design has a partition manager");
+        // Register the whole (possibly multi-stage) transaction as in
+        // flight: a concurrent repartition drains these tickets to zero
+        // before moving ownership, so no stage ever runs under boundaries
+        // different from its predecessors'.
+        let _ticket = pm.txn_ticket();
         let mut all_outputs = Vec::new();
         let mut total_actions = 0u32;
         let mut abort: Option<EngineError> = None;
@@ -266,8 +569,8 @@ impl Session<'_> {
                     reply.recv().map_err(|_| EngineError::Shutdown)?;
                 // Merge the action's log records into the transaction so the
                 // commit record covers them (one consolidated insert).
-                for (kind, page, payload) in log {
-                    db.log_manager().log(txn.log_handle_mut(), kind, page, payload);
+                for record in log {
+                    db.log_manager().log_record(txn.log_handle_mut(), record);
                 }
                 match result {
                     Ok(out) => stage_outputs.push(out),

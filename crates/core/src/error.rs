@@ -19,6 +19,9 @@ pub enum EngineError {
     Storage(StorageError),
     /// The engine has been shut down.
     Shutdown,
+    /// Crash recovery could not complete (unreadable log, configuration
+    /// mismatch with the checkpoint, or an unreplayable record).
+    Recovery(String),
 }
 
 impl From<StorageError> for EngineError {
@@ -59,6 +62,7 @@ impl std::fmt::Display for EngineError {
             EngineError::NoSuchTable(t) => write!(f, "no such table {t:?}"),
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
             EngineError::Shutdown => write!(f, "engine is shut down"),
+            EngineError::Recovery(reason) => write!(f, "recovery failed: {reason}"),
         }
     }
 }

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use plp_btree::PartitionId;
 use plp_storage::{Access, OwnerToken, PageId, PlacementHint, PlacementPolicy, Rid};
 use plp_storage::SlottedPage;
@@ -62,6 +62,51 @@ pub struct PartitionManager {
     /// reaches this count fails with an injected error (exercising the
     /// repartition journal's rollback).  `-1` = disabled.
     fail_after_tables: AtomicI64,
+    /// Test/bench hook: `(table index, slice/meld ops)` after which the next
+    /// repartition fails *inside* a table's slice/meld loop, leaving that
+    /// table partially repartitioned for the journal to restore.  One-shot.
+    fail_mid_table: Mutex<Option<(usize, usize)>>,
+    /// In-flight transaction accounting used to drain multi-stage
+    /// transactions before a repartition (see [`Self::txn_ticket`]).
+    drain: Mutex<DrainState>,
+    drain_cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct DrainState {
+    /// Transactions between `txn_ticket` and ticket drop.
+    inflight: usize,
+    /// A repartition is draining: new transactions must wait.
+    draining: bool,
+}
+
+/// RAII registration of one in-flight transaction (see
+/// [`PartitionManager::txn_ticket`]).
+pub struct TxnTicket<'a> {
+    pm: &'a PartitionManager,
+}
+
+impl Drop for TxnTicket<'_> {
+    fn drop(&mut self) {
+        let mut state = self.pm.drain.lock();
+        state.inflight -= 1;
+        // Wake a draining repartition waiting for in-flight count zero.
+        self.pm.drain_cv.notify_all();
+    }
+}
+
+/// RAII drain of the dispatch pipeline: while held, no new transaction can
+/// start and none is in flight.  Dropping re-opens the gate.
+struct DrainGuard<'a> {
+    pm: &'a PartitionManager,
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = self.pm.drain.lock();
+        state.draining = false;
+        self.pm.drain_cv.notify_all();
+    }
 }
 
 impl PartitionManager {
@@ -88,7 +133,47 @@ impl PartitionManager {
             dispatch_gate: RwLock::new(()),
             histograms: None,
             fail_after_tables: AtomicI64::new(-1),
+            fail_mid_table: Mutex::new(None),
+            drain: Mutex::new(DrainState::default()),
+            drain_cv: Condvar::new(),
         }
+    }
+
+    /// Register one in-flight transaction.  Coordinators hold the returned
+    /// ticket for the transaction's whole lifetime (all stages); a
+    /// repartition drains the pipeline by blocking new tickets and waiting
+    /// for the in-flight count to reach zero.  This closes the multi-stage
+    /// hole the dispatch gate alone cannot: a stage-2 action routed under
+    /// *new* boundaries would look for the thread-local locks its stage 1
+    /// took on the *old* owner.
+    pub fn txn_ticket(&self) -> TxnTicket<'_> {
+        let mut state = self.drain.lock();
+        while state.draining {
+            self.drain_cv.wait(&mut state);
+        }
+        state.inflight += 1;
+        TxnTicket { pm: self }
+    }
+
+    /// Transactions currently holding a ticket (diagnostic helper).
+    pub fn inflight_txns(&self) -> usize {
+        self.drain.lock().inflight
+    }
+
+    /// Close the ticket gate and wait until every in-flight transaction has
+    /// finished.  In-flight transactions can still dispatch their remaining
+    /// stages (the dispatch gate is not yet held), so this cannot deadlock;
+    /// it only waits out the tail of running transactions.
+    fn quiesce_transactions(&self) -> DrainGuard<'_> {
+        let mut state = self.drain.lock();
+        while state.draining {
+            self.drain_cv.wait(&mut state);
+        }
+        state.draining = true;
+        while state.inflight > 0 {
+            self.drain_cv.wait(&mut state);
+        }
+        DrainGuard { pm: self }
     }
 
     /// Guard coordinators must hold while routing and enqueueing one stage's
@@ -112,6 +197,31 @@ impl PartitionManager {
     #[doc(hidden)]
     pub fn inject_repartition_failure_after(&self, tables: usize) {
         self.fail_after_tables.store(tables as i64, Ordering::Relaxed);
+    }
+
+    /// Test/bench hook: make the next repartition fail *inside* table number
+    /// `table_index` (0 = the driver) of the alignment group, after `ops`
+    /// slice/meld operations on that table — leaving it partially
+    /// repartitioned so the journal rollback must restore a half-moved
+    /// table.  One-shot; rollback itself is never injected against.
+    #[doc(hidden)]
+    pub fn inject_repartition_failure_mid_table(&self, table_index: usize, ops: usize) {
+        *self.fail_mid_table.lock() = Some((table_index, ops));
+    }
+
+    /// Consume a pending mid-table injection if `table_index`'s slice/meld
+    /// progress reached it.
+    fn take_midtable_failure(&self, table_index: usize, ops_done: usize) -> Result<(), EngineError> {
+        let mut slot = self.fail_mid_table.lock();
+        if let Some((t, ops)) = *slot {
+            if t == table_index && ops_done >= ops {
+                *slot = None;
+                return Err(EngineError::Abort(
+                    "injected mid-table repartition failure".into(),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Consume a pending injected failure if per-table progress reached it.
@@ -277,6 +387,14 @@ impl PartitionManager {
             );
         }
 
+        // Drain the transaction pipeline first: no new transactions start
+        // and every in-flight (possibly multi-stage) transaction finishes
+        // before ownership moves.  Without this, a stage-2 action routed
+        // under the new boundaries would look for the thread-local locks its
+        // stage 1 took on the old owner.  The drain happens *before* the
+        // dispatch gate is taken so in-flight transactions can still
+        // dispatch their remaining stages.
+        let _drain = self.quiesce_transactions();
         // Block new action dispatches for the whole repartition: actions
         // already enqueued run before the workers park (FIFO), actions not
         // yet routed wait and see the new boundaries and ownership.
@@ -288,7 +406,7 @@ impl PartitionManager {
         let result = (|| {
             self.take_injected_failure(0)?;
             journal.push((table_id, self.bounds(table_id)));
-            let mut records_moved = self.repartition_one(table_id, new_bounds)?;
+            let mut records_moved = self.repartition_one(table_id, new_bounds, Some(0))?;
             let mut tables_done = 1usize;
             for table in self.db.tables() {
                 let spec = table.spec();
@@ -301,7 +419,7 @@ impl PartitionManager {
                     .map(|&b| b / driver.partition_granularity * spec.partition_granularity)
                     .collect();
                 journal.push((spec.id, self.bounds(spec.id)));
-                records_moved += self.repartition_one(spec.id, &scaled)?;
+                records_moved += self.repartition_one(spec.id, &scaled, Some(tables_done))?;
                 tables_done += 1;
             }
             Ok(records_moved)
@@ -339,6 +457,27 @@ impl PartitionManager {
         for r in resumers {
             let _ = r.send(());
         }
+        if result.is_ok() {
+            // Make the boundary change recoverable: one repartition record
+            // per touched table.  Durability rides the normal flusher — any
+            // later durable commit implies these earlier records are durable
+            // too (the log is written strictly in LSN order).
+            let log = self.db.log_manager();
+            for (table_id, _) in &journal {
+                log.log_system(plp_wal::LogRecord::with_payload(
+                    0,
+                    plp_wal::LogRecordKind::Repartition,
+                    table_id.0,
+                    0,
+                    None,
+                    plp_wal::RepartitionPayload {
+                        table: table_id.0,
+                        bounds: self.bounds(*table_id),
+                    }
+                    .encode(),
+                ));
+            }
+        }
         result
     }
 
@@ -347,27 +486,41 @@ impl PartitionManager {
     /// must still be quiesced; the caller re-assigns ownership afterwards.
     fn rollback_journal(&self, journal: &[(TableId, Vec<u64>)]) -> Result<(), EngineError> {
         for (table_id, old_bounds) in journal.iter().rev() {
-            self.drive_to_bounds(*table_id, old_bounds)?;
+            self.drive_to_bounds(*table_id, old_bounds, None)?;
         }
         Ok(())
     }
 
     /// Slice/meld one table to `new_bounds` and update its routing entry.
     /// Callers must have quiesced the workers and re-assign ownership after.
-    fn repartition_one(&self, table_id: TableId, new_bounds: &[u64]) -> Result<usize, EngineError> {
+    /// `inject` is the table's index in the alignment group, used by the
+    /// mid-table failure injection hook (forward pass only — rollback passes
+    /// `None`).
+    fn repartition_one(
+        &self,
+        table_id: TableId,
+        new_bounds: &[u64],
+        inject: Option<usize>,
+    ) -> Result<usize, EngineError> {
         if self.bounds(table_id) == new_bounds {
             return Ok(0);
         }
-        self.drive_to_bounds(table_id, new_bounds)
+        self.drive_to_bounds(table_id, new_bounds, inject)
     }
 
     /// Drive one table's tree and routing to `new_bounds` regardless of what
     /// the routing map currently says (the slice/meld loop works off the
     /// tree's actual partition table, so this also recovers a partially
     /// repartitioned table during journal rollback).
-    fn drive_to_bounds(&self, table_id: TableId, new_bounds: &[u64]) -> Result<usize, EngineError> {
+    fn drive_to_bounds(
+        &self,
+        table_id: TableId,
+        new_bounds: &[u64],
+        inject: Option<usize>,
+    ) -> Result<usize, EngineError> {
         let old_bounds = self.bounds(table_id);
         let mut records_moved = 0usize;
+        let mut ops_done = 0usize;
         let table = self.db.table(table_id)?;
         let physical =
             self.design.latch_free_index() || self.db.config().design == Design::LogicalOnly;
@@ -378,11 +531,15 @@ impl PartitionManager {
                 for &b in new_bounds {
                     let existing = mrb.partition_table().ranges();
                     if !existing.iter().any(|r| r.start_key == b) {
+                        if let Some(idx) = inject {
+                            self.take_midtable_failure(idx, ops_done)?;
+                        }
                         let report = mrb
                             .slice(b)
                             .map_err(|e| EngineError::from_btree(table_id, e))?;
                         records_moved += self
                             .fix_placement_after_slice(table_id, &report.moved_leaf_entries)?;
+                        ops_done += 1;
                     }
                 }
                 // Meld away every old boundary that is no longer wanted.
@@ -396,11 +553,15 @@ impl PartitionManager {
                         .map(|(i, _)| i as PartitionId);
                     match obsolete {
                         Some(p) => {
+                            if let Some(idx) = inject {
+                                self.take_midtable_failure(idx, ops_done)?;
+                            }
                             let report = mrb
                                 .meld(p)
                                 .map_err(|e| EngineError::from_btree(table_id, e))?;
                             records_moved += self
                                 .fix_placement_after_slice(table_id, &report.moved_leaf_entries)?;
+                            ops_done += 1;
                         }
                         None => break,
                     }

@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 use plp_instrument::CsCategory;
 use plp_lock::LocalLockTable;
 use plp_storage::{OwnerToken, PageCleaner, PageId};
-use plp_wal::LogRecordKind;
+use plp_wal::LogRecord;
 
 use crate::action::{ActionFn, ActionOutput};
 use crate::catalog::Design;
@@ -30,7 +30,9 @@ use crate::error::EngineError;
 /// Reply sent back to the coordinator when an action finishes.
 pub struct ActionReply {
     pub result: Result<ActionOutput, EngineError>,
-    pub log: Vec<(LogRecordKind, u64, u32)>,
+    /// Physiological redo records the action produced; the coordinator
+    /// merges them into the transaction so the commit record covers them.
+    pub log: Vec<LogRecord>,
 }
 
 /// Requests a worker can serve.
@@ -124,7 +126,7 @@ impl WorkerHandle {
     pub fn shutdown(&self) {
         let _ = self.sender.send(WorkerRequest::Shutdown);
         if let Some(t) = self.thread.lock().take() {
-            let _ = t.join();
+            join_unless_self(t);
         }
     }
 }
@@ -132,6 +134,16 @@ impl WorkerHandle {
 impl Drop for WorkerHandle {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Join `handle` unless it is the calling thread's own: a background thread
+/// (worker, DLB controller, checkpointer) can be the one unwinding the last
+/// `Arc` that owns it, and `pthread_join` of self aborts the process
+/// (EDEADLK).
+pub(crate) fn join_unless_self(handle: JoinHandle<()>) {
+    if handle.thread().id() != std::thread::current().id() {
+        let _ = handle.join();
     }
 }
 

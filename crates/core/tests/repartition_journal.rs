@@ -229,3 +229,133 @@ fn dlb_failed_repartition_keeps_engine_alive_under_load() {
     // And the engine still works after the dust settles.
     assert!(read_transaction(&engine, ROOT, 123).is_some());
 }
+
+#[test]
+fn mid_table_failure_on_driver_restores_partial_table() {
+    for design in [Design::PlpRegular, Design::PlpPartition, Design::PlpLeaf] {
+        let engine = aligned_engine(design);
+        let pm = engine.partition_manager().unwrap();
+        let before = all_bounds(&engine);
+
+        // Fail inside the driver's slice/meld loop after its first
+        // operation: the slice at the new boundary has happened, the meld of
+        // the old one has not — the table is left half-moved for the journal
+        // to restore.
+        pm.inject_repartition_failure_mid_table(0, 1);
+        let err = engine.repartition(ROOT, &[0, 64]);
+        assert!(err.is_err(), "{design}: injected mid-table failure must surface");
+
+        assert_eq!(
+            all_bounds(&engine),
+            before,
+            "{design}: rollback must restore the partially-moved driver"
+        );
+        assert_eq!(
+            engine.db().stats().snapshot().dlb.rollbacks,
+            1,
+            "{design}: mid-table rollback must be counted"
+        );
+        // Every record is still reachable through routing (boundary keys on
+        // both sides of the attempted cut included).
+        for k in [0u64, 63, 64, 65, 255, 256, 257, 511] {
+            assert_eq!(
+                read_transaction(&engine, ROOT, k).as_deref(),
+                Some(format!("root-{k}").as_bytes()),
+                "{design}: root key {k} must stay readable"
+            );
+        }
+        // One-shot: the same repartition now succeeds.
+        engine.repartition(ROOT, &[0, 64]).unwrap();
+        assert_eq!(pm.bounds(ROOT), vec![0, 64]);
+        assert_eq!(pm.bounds(SIBLING_A), vec![0, 256]);
+        assert!(read_transaction(&engine, ROOT, 64).is_some());
+    }
+}
+
+#[test]
+fn mid_table_failure_on_sibling_restores_whole_group() {
+    for design in [Design::PlpRegular, Design::PlpLeaf] {
+        let engine = aligned_engine(design);
+        let pm = engine.partition_manager().unwrap();
+        let before = all_bounds(&engine);
+
+        // The driver moves completely; the first sibling fails mid-way
+        // through its own slice/meld loop.
+        pm.inject_repartition_failure_mid_table(1, 1);
+        assert!(engine.repartition(ROOT, &[0, 64]).is_err(), "{design}");
+
+        assert_eq!(
+            all_bounds(&engine),
+            before,
+            "{design}: rollback must restore the fully-moved driver AND the half-moved sibling"
+        );
+        for k in [0u64, 63, 64, 300, 511] {
+            assert!(read_transaction(&engine, ROOT, k).is_some(), "{design}");
+            assert!(read_transaction(&engine, SIBLING_A, k * 4).is_some(), "{design}");
+            assert!(read_transaction(&engine, SIBLING_B, k * 8).is_some(), "{design}");
+        }
+    }
+}
+
+#[test]
+fn repartition_drains_inflight_multistage_transactions() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    // Multi-stage transactions racing controller-style repartitions: stage 2
+    // must always run under the same boundaries its stage 1 was routed with
+    // (the drain closes the stage-2-loses-locks hole).  Without the drain
+    // this test trips latch-free ownership panics / lost thread-local locks.
+    let engine = Arc::new(aligned_engine(Design::PlpRegular));
+    let stop = AtomicBool::new(false);
+    let committed = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let eng = &engine;
+        let stop = &stop;
+        let committed = &committed;
+        for t in 0..2u64 {
+            scope.spawn(move || {
+                let mut session = eng.session();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    let k1 = (i * 13 + t * 101) % 512;
+                    let k2 = (i * 29 + t * 211) % 512;
+                    // Stage 1 reads k1; stage 2 (continuation) updates k2 —
+                    // routed *after* stage 1 completed.
+                    let plan = TransactionPlan::single(Action::new(ROOT, k1, move |ctx| {
+                        let row = ctx.read(ROOT, k1)?;
+                        assert!(row.is_some());
+                        Ok(ActionOutput::empty())
+                    }))
+                    .followed_by(move |_| {
+                        TransactionPlan::single(Action::new(ROOT, k2, move |ctx| {
+                            let updated = ctx.update(ROOT, k2, &mut |rec| {
+                                rec[0] = rec[0].wrapping_add(1);
+                            })?;
+                            assert!(updated);
+                            Ok(ActionOutput::empty())
+                        }))
+                    });
+                    session.execute(plan).expect("multi-stage txn must commit");
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        scope.spawn(move || {
+            // Bounce the boundaries back and forth while the load runs.
+            for round in 0..6 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                let cut = if round % 2 == 0 { 64 } else { 256 };
+                eng.repartition(ROOT, &[0, cut]).expect("repartition succeeds");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+    assert!(committed.load(Ordering::Relaxed) > 0);
+    // All sibling tables stayed aligned with the final cut.
+    let pm = engine.partition_manager().unwrap();
+    assert_eq!(pm.bounds(ROOT), vec![0, 256]);
+    assert_eq!(pm.bounds(SIBLING_A), vec![0, 1024]);
+    assert_eq!(pm.bounds(SIBLING_B), vec![0, 2048]);
+}

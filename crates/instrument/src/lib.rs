@@ -32,7 +32,8 @@ pub use breakdown::{BreakdownSnapshot, TimeBreakdown, TimeBucket};
 pub use report::{format_table, Cell, Table};
 pub use stats::{
     ContentionClass, CsCategory, CsStats, CsStatsSnapshot, DlbStats, DlbStatsSnapshot,
-    LatchStats, LatchStatsSnapshot, PageKind, StatsRegistry, StatsSnapshot,
+    LatchStats, LatchStatsSnapshot, PageKind, StatsRegistry, StatsSnapshot, WalStats,
+    WalStatsSnapshot,
 };
 pub use sync::{InstrumentedMutex, InstrumentedRwLock};
 pub use timer::ScopedTimer;

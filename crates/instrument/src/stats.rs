@@ -527,6 +527,123 @@ impl DlbStatsSnapshot {
     }
 }
 
+/// Durability counters: group-commit flush batches, fsyncs and recovery
+/// progress (the file-backed log device of `plp-wal`).
+///
+/// Updated by the log manager's flusher thread and by `Engine::recover`;
+/// exposed here so the benchmark driver's snapshot/delta machinery covers
+/// durability activity the same way it covers critical sections and latches.
+#[derive(Debug, Default)]
+pub struct WalStats {
+    /// Non-empty group-commit batches written by the flusher.
+    flush_batches: AtomicU64,
+    /// Log records written across all flush batches (mean group-commit batch
+    /// size = `flushed_records / flush_batches`).
+    flushed_records: AtomicU64,
+    /// Log bytes written to the device.
+    flushed_bytes: AtomicU64,
+    /// `fsync` calls issued on log segment files.
+    fsyncs: AtomicU64,
+    /// Fuzzy checkpoint records written.
+    checkpoints: AtomicU64,
+    /// Committed transactions replayed by the last recovery (gauge).
+    recovered_txns: AtomicU64,
+    /// Redo records replayed by the last recovery (gauge).
+    recovered_records: AtomicU64,
+    /// Torn-tail bytes discarded by the last recovery (gauge).
+    torn_bytes: AtomicU64,
+}
+
+impl WalStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one group-commit batch of `records` records / `bytes` bytes.
+    #[inline]
+    pub fn flushed(&self, records: u64, bytes: u64) {
+        self.flush_batches.fetch_add(1, Ordering::Relaxed);
+        self.flushed_records.fetch_add(records, Ordering::Relaxed);
+        self.flushed_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn fsync(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn checkpoint(&self) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the outcome of a recovery pass (gauges, not cumulative).
+    pub fn set_recovery(&self, txns: u64, records: u64, torn_bytes: u64) {
+        self.recovered_txns.store(txns, Ordering::Relaxed);
+        self.recovered_records.store(records, Ordering::Relaxed);
+        self.torn_bytes.store(torn_bytes, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> WalStatsSnapshot {
+        WalStatsSnapshot {
+            flush_batches: self.flush_batches.load(Ordering::Relaxed),
+            flushed_records: self.flushed_records.load(Ordering::Relaxed),
+            flushed_bytes: self.flushed_bytes.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            recovered_txns: self.recovered_txns.load(Ordering::Relaxed),
+            recovered_records: self.recovered_records.load(Ordering::Relaxed),
+            torn_bytes: self.torn_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.flush_batches.store(0, Ordering::Relaxed);
+        self.flushed_records.store(0, Ordering::Relaxed);
+        self.flushed_bytes.store(0, Ordering::Relaxed);
+        self.fsyncs.store(0, Ordering::Relaxed);
+        self.checkpoints.store(0, Ordering::Relaxed);
+        self.recovered_txns.store(0, Ordering::Relaxed);
+        self.recovered_records.store(0, Ordering::Relaxed);
+        self.torn_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of [`WalStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStatsSnapshot {
+    pub flush_batches: u64,
+    pub flushed_records: u64,
+    pub flushed_bytes: u64,
+    pub fsyncs: u64,
+    pub checkpoints: u64,
+    pub recovered_txns: u64,
+    pub recovered_records: u64,
+    pub torn_bytes: u64,
+}
+
+impl WalStatsSnapshot {
+    /// Mean records per non-empty group-commit batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        self.flushed_records as f64 / self.flush_batches.max(1) as f64
+    }
+
+    /// Counter difference (`self - earlier`); the recovery fields keep the
+    /// later value (they are point-in-time gauges, not cumulative).
+    pub fn delta(&self, earlier: &WalStatsSnapshot) -> WalStatsSnapshot {
+        WalStatsSnapshot {
+            flush_batches: self.flush_batches.saturating_sub(earlier.flush_batches),
+            flushed_records: self.flushed_records.saturating_sub(earlier.flushed_records),
+            flushed_bytes: self.flushed_bytes.saturating_sub(earlier.flushed_bytes),
+            fsyncs: self.fsyncs.saturating_sub(earlier.fsyncs),
+            checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
+            recovered_txns: self.recovered_txns,
+            recovered_records: self.recovered_records,
+            torn_bytes: self.torn_bytes,
+        }
+    }
+}
+
 /// Shared registry of all instrumentation counters for one engine instance.
 ///
 /// Cloning the `Arc<StatsRegistry>` is how every component gains access; the
@@ -536,6 +653,7 @@ pub struct StatsRegistry {
     cs: CsStats,
     latches: LatchStats,
     dlb: DlbStats,
+    wal: WalStats,
     committed_txns: AtomicU64,
     aborted_txns: AtomicU64,
     /// Structure-modification operations performed (page splits, slices, melds).
@@ -564,6 +682,10 @@ impl StatsRegistry {
 
     pub fn dlb(&self) -> &DlbStats {
         &self.dlb
+    }
+
+    pub fn wal(&self) -> &WalStats {
+        &self.wal
     }
 
     #[inline]
@@ -607,6 +729,7 @@ impl StatsRegistry {
             cs: self.cs.snapshot(),
             latches: self.latches.snapshot(),
             dlb: self.dlb.snapshot(),
+            wal: self.wal.snapshot(),
             committed: self.committed(),
             aborted: self.aborted(),
             smo_count: self.smo_count(),
@@ -618,6 +741,7 @@ impl StatsRegistry {
         self.cs.reset();
         self.latches.reset();
         self.dlb.reset();
+        self.wal.reset();
         self.committed_txns.store(0, Ordering::Relaxed);
         self.aborted_txns.store(0, Ordering::Relaxed);
         self.smo_count.store(0, Ordering::Relaxed);
@@ -631,6 +755,7 @@ pub struct StatsSnapshot {
     pub cs: CsStatsSnapshot,
     pub latches: LatchStatsSnapshot,
     pub dlb: DlbStatsSnapshot,
+    pub wal: WalStatsSnapshot,
     pub committed: u64,
     pub aborted: u64,
     pub smo_count: u64,
@@ -643,6 +768,7 @@ impl StatsSnapshot {
             cs: self.cs.delta(&earlier.cs),
             latches: self.latches.delta(&earlier.latches),
             dlb: self.dlb.delta(&earlier.dlb),
+            wal: self.wal.delta(&earlier.wal),
             committed: self.committed.saturating_sub(earlier.committed),
             aborted: self.aborted.saturating_sub(earlier.aborted),
             smo_count: self.smo_count.saturating_sub(earlier.smo_count),
@@ -779,6 +905,45 @@ mod tests {
         d.reset();
         assert_eq!(d.snapshot().evaluations, 0);
         assert_eq!(d.snapshot().observed_imbalance, 0.0);
+    }
+
+    #[test]
+    fn wal_stats_counters_gauges_and_batch_size() {
+        let w = WalStats::new();
+        w.flushed(10, 1000);
+        w.flushed(20, 2000);
+        w.fsync();
+        w.checkpoint();
+        w.set_recovery(5, 50, 7);
+        let a = w.snapshot();
+        assert_eq!(a.flush_batches, 2);
+        assert_eq!(a.flushed_records, 30);
+        assert_eq!(a.flushed_bytes, 3000);
+        assert_eq!(a.fsyncs, 1);
+        assert_eq!(a.checkpoints, 1);
+        assert!((a.mean_batch_size() - 15.0).abs() < f64::EPSILON);
+        w.flushed(2, 64);
+        let b = w.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.flush_batches, 1);
+        assert_eq!(d.flushed_records, 2);
+        // Recovery fields are point-in-time gauges: delta keeps the later value.
+        assert_eq!(d.recovered_txns, 5);
+        assert_eq!(d.torn_bytes, 7);
+        w.reset();
+        assert_eq!(w.snapshot().flush_batches, 0);
+        assert_eq!(w.snapshot().recovered_records, 0);
+        // Empty stats report a 0 batch size, not NaN.
+        assert_eq!(WalStats::new().snapshot().mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn registry_snapshot_includes_wal() {
+        let r = StatsRegistry::new();
+        r.wal().flushed(3, 30);
+        assert_eq!(r.snapshot().wal.flush_batches, 1);
+        r.reset();
+        assert_eq!(r.snapshot().wal.flush_batches, 0);
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod tests {
         let mgr = TxnManager::new(log, stats.clone());
         let mut txn = mgr.begin();
         assert_eq!(txn.state(), TxnState::Active);
-        txn.log_update(7, 64);
+        txn.log_update(0, 7, b"before", b"after-image");
         mgr.commit(&mut txn);
         assert_eq!(txn.state(), TxnState::Committed);
         assert_eq!(stats.committed(), 1);

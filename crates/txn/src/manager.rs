@@ -1,8 +1,10 @@
 //! The transaction manager.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use plp_instrument::{CsCategory, StatsRegistry, TimeBreakdown};
 use plp_lock::LockManager;
 use plp_wal::LogManager;
@@ -15,15 +17,27 @@ pub struct TxnManager {
     next_id: AtomicU64,
     log: Arc<LogManager>,
     stats: Arc<StatsRegistry>,
+    /// Transactions begun but not yet committed/aborted — the active-txn
+    /// table a fuzzy checkpoint captures.  (A `Transaction` dropped without
+    /// commit/abort stays listed; the engine API always finishes
+    /// transactions.)
+    active: Mutex<BTreeSet<u64>>,
 }
 
 impl TxnManager {
     pub fn new(log: Arc<LogManager>, stats: Arc<StatsRegistry>) -> Self {
+        // Id 0 is reserved; very high ids are reserved for SLI agents.
+        Self::new_at(log, stats, 1)
+    }
+
+    /// A transaction manager whose first transaction id is `first_id` — used
+    /// after recovery so new transactions never reuse a logged id.
+    pub fn new_at(log: Arc<LogManager>, stats: Arc<StatsRegistry>, first_id: u64) -> Self {
         Self {
-            // Id 0 is reserved; very high ids are reserved for SLI agents.
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(first_id.max(1)),
             log,
             stats,
+            active: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -40,7 +54,19 @@ impl TxnManager {
     pub fn begin(&self) -> Transaction {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.stats.cs().enter(CsCategory::XctMgr, false);
+        self.active.lock().insert(id);
         Transaction::new(id, self.log.begin(id))
+    }
+
+    /// The transactions currently active (begun, not yet finished) — what a
+    /// fuzzy checkpoint records.
+    pub fn active_txns(&self) -> Vec<u64> {
+        self.active.lock().iter().copied().collect()
+    }
+
+    /// The next transaction id that would be handed out.
+    pub fn next_txn_id(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
     }
 
     /// Commit: write the commit record (flushing per the log manager's
@@ -76,6 +102,7 @@ impl TxnManager {
             }
         }
         txn.set_state(TxnState::Committed);
+        self.active.lock().remove(&txn.id());
         self.stats.txn_committed();
     }
 
@@ -99,6 +126,7 @@ impl TxnManager {
             }
         }
         txn.set_state(TxnState::Aborted);
+        self.active.lock().remove(&txn.id());
         self.stats.txn_aborted();
     }
 
@@ -149,7 +177,7 @@ mod tests {
             .unwrap();
         txn.record_locks(acquired.into_iter().map(|(id, _)| id));
         assert_eq!(locks.live_heads(), 3);
-        txn.log_update(5, 32);
+        txn.log_update(1, 5, b"old-value", b"new-value");
         mgr.commit_with(&mut txn, Some(&locks), None);
         assert_eq!(locks.live_heads(), 0);
         assert_eq!(txn.state(), TxnState::Committed);

@@ -1,7 +1,7 @@
 //! The transaction object.
 
 use plp_lock::LockId;
-use plp_wal::{LogRecordKind, TxnLogHandle};
+use plp_wal::{LogRecord, LogRecordKind, TxnLogHandle, UpdatePayload};
 
 /// Transaction identifier.
 pub type TxnId = u64;
@@ -91,18 +91,40 @@ impl Transaction {
         &mut self.log
     }
 
-    /// Convenience wrappers used by the engines' data-access layer.  Under the
-    /// consolidated protocol these only stage records locally.
-    pub fn log_insert(&mut self, page: u64, payload: u32) {
-        self.log.log(LogRecordKind::Insert, page, payload);
+    /// Convenience wrappers used by the engines' data-access layer.  They
+    /// stage *physiological redo* records (real payload bytes) locally; the
+    /// records reach the shared buffer at commit/abort time.
+    pub fn log_insert(&mut self, table: u32, key: u64, record: &[u8], secondary: Option<u64>) {
+        self.log.push_record(LogRecord::with_payload(
+            self.id,
+            LogRecordKind::Insert,
+            table,
+            key,
+            secondary,
+            record.to_vec(),
+        ));
     }
 
-    pub fn log_update(&mut self, page: u64, payload: u32) {
-        self.log.log(LogRecordKind::Update, page, payload);
+    pub fn log_update(&mut self, table: u32, key: u64, before: &[u8], after: &[u8]) {
+        self.log.push_record(LogRecord::with_payload(
+            self.id,
+            LogRecordKind::Update,
+            table,
+            key,
+            None,
+            UpdatePayload::encode(before, after),
+        ));
     }
 
-    pub fn log_delete(&mut self, page: u64, payload: u32) {
-        self.log.log(LogRecordKind::Delete, page, payload);
+    pub fn log_delete(&mut self, table: u32, key: u64, secondary: Option<u64>) {
+        self.log.push_record(LogRecord::with_payload(
+            self.id,
+            LogRecordKind::Delete,
+            table,
+            key,
+            secondary,
+            Vec::new(),
+        ));
     }
 
     pub fn records_logged(&self) -> u64 {
@@ -151,9 +173,9 @@ mod tests {
     #[test]
     fn logging_wrappers_stage_records() {
         let mut t = txn();
-        t.log_insert(1, 100);
-        t.log_update(2, 50);
-        t.log_delete(3, 10);
+        t.log_insert(0, 1, b"record-bytes", Some(101));
+        t.log_update(0, 2, b"before", b"after!");
+        t.log_delete(0, 3, None);
         assert_eq!(t.records_logged(), 3);
     }
 

@@ -26,9 +26,8 @@ pub enum InsertProtocol {
 }
 
 struct BufferInner {
-    /// Records appended but not yet "flushed" (drained by the group-commit
-    /// daemon).  Flushed records are discarded — the reproduction never
-    /// replays the log, it only measures its critical sections and volume.
+    /// Records appended but not yet flushed.  The group-commit flusher
+    /// drains them and (when a log device is attached) writes them out.
     pending: VecDeque<LogRecord>,
     tail_lsn: Lsn,
     total_records: u64,
@@ -42,11 +41,17 @@ pub struct LogBuffer {
 
 impl LogBuffer {
     pub fn new(stats: Arc<StatsRegistry>) -> Self {
+        Self::new_at(stats, Lsn::FIRST)
+    }
+
+    /// Start the LSN stream at `tail` (used when resuming over an existing
+    /// on-disk log after recovery).
+    pub fn new_at(stats: Arc<StatsRegistry>, tail: Lsn) -> Self {
         Self {
             inner: InstrumentedMutex::new(
                 BufferInner {
                     pending: VecDeque::new(),
-                    tail_lsn: Lsn(1),
+                    tail_lsn: tail,
                     total_records: 0,
                     total_bytes: 0,
                 },
@@ -61,11 +66,12 @@ impl LogBuffer {
     pub fn append_one(&self, mut record: LogRecord) -> (Lsn, u64) {
         let (mut g, waited) = self.inner.lock();
         record.lsn = g.tail_lsn;
+        let lsn = record.lsn;
         g.tail_lsn = g.tail_lsn.advance(record.size_bytes());
         g.total_records += 1;
         g.total_bytes += record.size_bytes();
         g.pending.push_back(record);
-        (record.lsn, waited)
+        (lsn, waited)
     }
 
     /// Append a batch of records in one critical section (consolidated
@@ -82,20 +88,19 @@ impl LogBuffer {
             g.tail_lsn = g.tail_lsn.advance(r.size_bytes());
             g.total_records += 1;
             g.total_bytes += r.size_bytes();
-            g.pending.push_back(*r);
+            g.pending.push_back(r.clone());
             last = r.lsn;
         }
         (last, waited)
     }
 
-    /// Drain everything pending (called by the group-commit flusher).  Returns
-    /// the durable LSN high-water mark after the drain and how many records
-    /// were drained.
-    pub fn drain(&self) -> (Lsn, usize) {
+    /// Drain everything pending (called by the group-commit flusher).
+    /// Returns the LSN high-water mark after the drain and the drained
+    /// records, in order, ready to be written to the log device.
+    pub fn drain(&self) -> (Lsn, Vec<LogRecord>) {
         let mut g = self.inner.lock_uninstrumented();
-        let n = g.pending.len();
-        g.pending.clear();
-        (g.tail_lsn, n)
+        let records: Vec<LogRecord> = std::mem::take(&mut g.pending).into();
+        (g.tail_lsn, records)
     }
 
     /// Current tail (next) LSN.
@@ -173,8 +178,10 @@ mod tests {
         let (_s, b) = buffer();
         b.append_one(LogRecord::new(1, LogRecordKind::Insert, 1, 8));
         b.append_one(LogRecord::new(1, LogRecordKind::Commit, 0, 0));
-        let (durable, n) = b.drain();
-        assert_eq!(n, 2);
+        let (durable, drained) = b.drain();
+        assert_eq!(drained.len(), 2);
+        // Drained records carry their assigned LSNs, in order.
+        assert!(drained[0].lsn < drained[1].lsn);
         assert_eq!(durable, b.tail_lsn());
         assert_eq!(b.pending_records(), 0);
         assert_eq!(b.total_records(), 2);

@@ -1,6 +1,9 @@
-//! The log manager: per-transaction log handles, commit processing and the
-//! group-commit flusher.
+//! The log manager: per-transaction log handles, commit processing, the
+//! group-commit flusher and (when a log directory is configured) the
+//! file-backed durability pipeline.
 
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -10,9 +13,10 @@ use parking_lot::{Condvar, Mutex};
 use plp_instrument::{CsCategory, StatsRegistry, TimeBreakdown, TimeBucket};
 
 use crate::buffer::{InsertProtocol, LogBuffer};
-use crate::record::{LogRecord, LogRecordKind, Lsn};
+use crate::device::LogDevice;
+use crate::record::{CheckpointData, LogRecord, LogRecordKind, Lsn};
 
-/// Whether commits wait for the group-commit flusher.
+/// What a commit waits for before returning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DurabilityMode {
     /// Commit returns as soon as the commit record is in the log buffer
@@ -20,8 +24,14 @@ pub enum DurabilityMode {
     /// experiments: the paper's evaluation is memory resident and focuses on
     /// critical-section behaviour, not commit latency.
     Lazy,
-    /// Commit blocks until the flusher has drained past the commit record.
+    /// Commit blocks until the flusher has drained past the commit record
+    /// (and, when a log device is attached, written it to the OS).  No
+    /// fsync wait — a crash of the whole machine may lose the tail.
     Synchronous,
+    /// Commit blocks until the commit record has been written **and
+    /// fsynced** to the file-backed log device.  Requires a log directory;
+    /// this is the mode the crash-recovery guarantees are stated for.
+    Strict,
 }
 
 /// Per-transaction logging state.
@@ -58,17 +68,35 @@ impl TxnLogHandle {
         self.records_logged
     }
 
-    /// Stage or append a log record describing a change to `page` with a
-    /// payload of `payload_len` bytes.  (Binding to the owning [`LogManager`]
-    /// happens through [`LogManager::log`] / the convenience method below.)
+    /// Stage a *synthetic* log record (declared payload length, no captured
+    /// bytes) describing a change to `page`.  Kept for benchmarks and tests
+    /// that only exercise log volume; real redo records go through
+    /// [`Self::push_record`].
     pub fn log(&mut self, kind: LogRecordKind, page: u64, payload_len: u32) {
         self.staged.push(LogRecord::new(self.txn_id, kind, page, payload_len));
         self.records_logged += 1;
     }
+
+    /// Stage a fully-formed redo record.  Its transaction id is forced to
+    /// this handle's.
+    pub fn push_record(&mut self, mut record: LogRecord) {
+        record.txn_id = self.txn_id;
+        self.staged.push(record);
+        self.records_logged += 1;
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DurableState {
+    /// Highest LSN drained from the buffer (and written to the device when
+    /// one is attached).
+    written: Lsn,
+    /// Highest LSN known fsynced to stable storage.
+    synced: Lsn,
 }
 
 struct FlusherState {
-    durable_lsn: Mutex<Lsn>,
+    durable: Mutex<DurableState>,
     flushed: Condvar,
     wakeup: Condvar,
     shutdown: AtomicBool,
@@ -80,25 +108,63 @@ pub struct LogManager {
     protocol: InsertProtocol,
     durability: DurabilityMode,
     stats: Arc<StatsRegistry>,
+    device: Option<LogDevice>,
+    /// Serializes whole drain→write→fsync rounds: the background flusher,
+    /// `flush_now` (checkpoints) and self-service commits may race, and two
+    /// interleaved drains would reach the device out of LSN order.
+    flush_lock: Mutex<()>,
     next_txn_first_lsn: AtomicU64,
     flusher: Arc<FlusherState>,
     flusher_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl LogManager {
+    /// A memory-only log manager (no device; durability is simulated).
+    /// [`DurabilityMode::Strict`] requires a device — use
+    /// [`Self::with_directory`] for it.
     pub fn new(
         protocol: InsertProtocol,
         durability: DurabilityMode,
         stats: Arc<StatsRegistry>,
     ) -> Self {
+        assert!(
+            durability != DurabilityMode::Strict,
+            "DurabilityMode::Strict requires a log directory (LogManager::with_directory)"
+        );
+        Self::build(protocol, durability, stats, None, Lsn::FIRST)
+    }
+
+    /// A log manager backed by a segmented file device in `dir`.  An
+    /// existing directory is opened for appending (its torn tail, if any, is
+    /// truncated); logging resumes after the last valid record.
+    pub fn with_directory(
+        protocol: InsertProtocol,
+        durability: DurabilityMode,
+        stats: Arc<StatsRegistry>,
+        dir: impl AsRef<Path>,
+        segment_bytes: u64,
+    ) -> io::Result<Self> {
+        let (device, tail) = LogDevice::open(dir.as_ref(), segment_bytes, stats.clone())?;
+        Ok(Self::build(protocol, durability, stats, Some(device), tail))
+    }
+
+    fn build(
+        protocol: InsertProtocol,
+        durability: DurabilityMode,
+        stats: Arc<StatsRegistry>,
+        device: Option<LogDevice>,
+        tail: Lsn,
+    ) -> Self {
         Self {
-            buffer: LogBuffer::new(stats.clone()),
+            buffer: LogBuffer::new_at(stats.clone(), tail),
             protocol,
             durability,
             stats,
+            device,
+            flush_lock: Mutex::new(()),
             next_txn_first_lsn: AtomicU64::new(1),
             flusher: Arc::new(FlusherState {
-                durable_lsn: Mutex::new(Lsn::ZERO),
+                durable: Mutex::new(DurableState::default()),
                 flushed: Condvar::new(),
                 wakeup: Condvar::new(),
                 shutdown: AtomicBool::new(false),
@@ -119,26 +185,58 @@ impl LogManager {
         &self.stats
     }
 
+    /// The file-backed device, when one is attached.
+    pub fn device(&self) -> Option<&LogDevice> {
+        self.device.as_ref()
+    }
+
+    pub fn has_device(&self) -> bool {
+        self.device.is_some()
+    }
+
     /// Begin logging for a new transaction.
     pub fn begin(&self, txn_id: u64) -> TxnLogHandle {
         self.next_txn_first_lsn.fetch_add(1, Ordering::Relaxed);
         TxnLogHandle::new(txn_id)
     }
 
-    /// Record a change.  Under the baseline protocol the record goes straight
-    /// to the shared buffer (one critical section); under the consolidated
-    /// protocol it is staged in the handle.
+    /// Record a synthetic change (declared length only; see
+    /// [`TxnLogHandle::log`]).  Under the baseline protocol the record goes
+    /// straight to the shared buffer (one critical section); under the
+    /// consolidated protocol it is staged in the handle.
     pub fn log(&self, handle: &mut TxnLogHandle, kind: LogRecordKind, page: u64, payload_len: u32) {
+        self.log_record(handle, LogRecord::new(handle.txn_id, kind, page, payload_len));
+    }
+
+    /// Record a fully-formed redo record (payload bytes captured at the
+    /// storage layer).  Protocol-dependent like [`Self::log`].
+    pub fn log_record(&self, handle: &mut TxnLogHandle, mut record: LogRecord) {
+        record.txn_id = handle.txn_id;
         match self.protocol {
             InsertProtocol::Baseline => {
-                let (lsn, _waited) =
-                    self.buffer
-                        .append_one(LogRecord::new(handle.txn_id, kind, page, payload_len));
+                let (lsn, _waited) = self.buffer.append_one(record);
                 handle.last_lsn = lsn;
                 handle.records_logged += 1;
             }
-            InsertProtocol::Consolidated => handle.log(kind, page, payload_len),
+            InsertProtocol::Consolidated => handle.push_record(record),
         }
+    }
+
+    /// Append a system record (checkpoint/repartition metadata) outside any
+    /// transaction.  Returns its LSN; durability follows the flusher like
+    /// any other record.
+    pub fn log_system(&self, record: LogRecord) -> Lsn {
+        let (lsn, _) = self.buffer.append_one(record);
+        lsn
+    }
+
+    /// Write a fuzzy checkpoint record and flush it (write + fsync when a
+    /// device is attached).  Returns the checkpoint's LSN.
+    pub fn write_checkpoint(&self, data: CheckpointData) -> Lsn {
+        let lsn = self.log_system(data.into_record());
+        self.flush_now();
+        self.stats.wal().checkpoint();
+        lsn
     }
 
     fn finish(&self, handle: &mut TxnLogHandle, kind: LogRecordKind) -> Lsn {
@@ -160,7 +258,7 @@ impl LogManager {
         }
     }
 
-    /// Write the commit record (and flush if durability is synchronous).
+    /// Write the commit record (and wait per the durability mode).
     pub fn commit(&self, handle: &mut TxnLogHandle) -> Lsn {
         let lsn = self.finish(handle, LogRecordKind::Commit);
         self.wait_durable(lsn, None);
@@ -184,13 +282,24 @@ impl LogManager {
             return;
         }
         let start = std::time::Instant::now();
+        let reached = |s: &DurableState| match self.durability {
+            DurabilityMode::Lazy => true,
+            DurabilityMode::Synchronous => s.written >= lsn,
+            DurabilityMode::Strict => s.synced >= lsn,
+        };
         // Waking the flusher and waiting on the flushed condition is the
         // commit-side half of the group-commit handshake: one log-manager
         // critical section regardless of how many records the txn wrote.
         self.stats.cs().enter(CsCategory::LogMgr, false);
-        let mut durable = self.flusher.durable_lsn.lock();
+        // Self-service group commit: with no flusher thread running, the
+        // committing thread flushes its own batch (single-shot experiments
+        // and unit tests run this way).
+        if self.flusher_thread.lock().is_none() {
+            self.flush_batch(self.durability == DurabilityMode::Strict);
+        }
+        let mut durable = self.flusher.durable.lock();
         self.flusher.wakeup.notify_one();
-        while *durable < lsn && !self.flusher.shutdown.load(Ordering::Acquire) {
+        while !reached(&durable) && !self.flusher.shutdown.load(Ordering::Acquire) {
             self.flusher
                 .flushed
                 .wait_for(&mut durable, Duration::from_millis(5));
@@ -199,6 +308,67 @@ impl LogManager {
         if let Some(bd) = bd {
             bd.add(TimeBucket::LogWait, start.elapsed());
         }
+    }
+
+    /// Drain the buffer once: write the batch to the device (when attached),
+    /// fsync if the durability mode demands it, and advance the durable
+    /// LSNs.  Shared by the flusher thread and [`Self::flush_now`];
+    /// `force_sync` additionally fsyncs regardless of mode.
+    fn flush_batch(&self, force_sync: bool) -> Lsn {
+        let _round = self.flush_lock.lock();
+        let (tail, records) = self.buffer.drain();
+        match &self.device {
+            Some(device) => {
+                if let Err(e) = device.append_batch(&records) {
+                    self.fail_flusher(&format!("log device write failed: {e}"));
+                }
+                let sync = force_sync || self.durability == DurabilityMode::Strict;
+                let mut durable = self.flusher.durable.lock();
+                if tail > durable.written {
+                    durable.written = tail;
+                }
+                // Only hit the disk when something was written since the
+                // last sync — a Strict flusher wakes every interval and
+                // would otherwise issue thousands of no-op fsyncs per
+                // second (and corrupt the fsync metric).
+                if sync && durable.synced < durable.written {
+                    if let Err(e) = device.sync() {
+                        drop(durable);
+                        self.fail_flusher(&format!("log device fsync failed: {e}"));
+                    }
+                    durable.synced = durable.written;
+                }
+            }
+            None => {
+                if !records.is_empty() {
+                    let bytes = records.iter().map(|r| r.size_bytes()).sum();
+                    self.stats.wal().flushed(records.len() as u64, bytes);
+                }
+                let mut durable = self.flusher.durable.lock();
+                if tail > durable.written {
+                    durable.written = tail;
+                }
+                // Without a device there is nothing to fsync; "synced"
+                // follows "written" so Strict-less callers of synced_lsn see
+                // progress.
+                if tail > durable.synced {
+                    durable.synced = tail;
+                }
+            }
+        }
+        self.flusher.flushed.notify_all();
+        tail
+    }
+
+    /// A log-device I/O failure is fatal for durability: mark the manager
+    /// shut down and wake every commit waiting in [`Self::wait_durable`]
+    /// (they would otherwise spin forever re-notifying a dead flusher),
+    /// then panic with the device error.
+    fn fail_flusher(&self, reason: &str) -> ! {
+        self.flusher.shutdown.store(true, Ordering::Release);
+        self.flusher.flushed.notify_all();
+        self.flusher.wakeup.notify_all();
+        panic!("{reason}");
     }
 
     /// Start the background group-commit flusher.  Idempotent.
@@ -214,38 +384,38 @@ impl LogManager {
             .spawn(move || {
                 while !state.shutdown.load(Ordering::Acquire) {
                     {
-                        let mut durable = state.durable_lsn.lock();
+                        let mut durable = state.durable.lock();
                         state.wakeup.wait_for(&mut durable, interval);
                     }
-                    let (tail, _n) = mgr.buffer.drain();
-                    {
-                        let mut durable = state.durable_lsn.lock();
-                        if tail > *durable {
-                            *durable = tail;
-                        }
-                    }
-                    state.flushed.notify_all();
+                    mgr.flush_batch(false);
                 }
+                // Final drain so a graceful shutdown leaves nothing behind.
+                mgr.flush_batch(true);
             })
             .expect("spawn log flusher");
         *slot = Some(handle);
     }
 
-    /// Stop the flusher thread (joins it).
+    /// Stop the flusher thread (joins it; performs a final flush+fsync).
     pub fn stop_flusher(&self) {
         self.flusher.shutdown.store(true, Ordering::Release);
         self.flusher.wakeup.notify_all();
         self.flusher.flushed.notify_all();
         if let Some(h) = self.flusher_thread.lock().take() {
-            let _ = h.join();
+            join_unless_self(h);
         }
         // Allow restart after a stop (used by tests).
         self.flusher.shutdown.store(false, Ordering::Release);
     }
 
-    /// Highest LSN known durable.
+    /// Highest LSN known written out (drained from the buffer).
     pub fn durable_lsn(&self) -> Lsn {
-        *self.flusher.durable_lsn.lock()
+        self.flusher.durable.lock().written
+    }
+
+    /// Highest LSN known fsynced to stable storage.
+    pub fn synced_lsn(&self) -> Lsn {
+        self.flusher.durable.lock().synced
     }
 
     /// Total records ever appended to the shared buffer.
@@ -263,16 +433,11 @@ impl LogManager {
         self.buffer.pending_records()
     }
 
-    /// Manually flush everything pending (used when running without a flusher
-    /// thread, e.g. in unit tests and single-shot experiments).
+    /// Manually flush (and fsync) everything pending — used when running
+    /// without a flusher thread and by checkpoints.
     pub fn flush_now(&self) -> Lsn {
-        let (tail, _) = self.buffer.drain();
-        let mut durable = self.flusher.durable_lsn.lock();
-        if tail > *durable {
-            *durable = tail;
-        }
-        self.flusher.flushed.notify_all();
-        *durable
+        self.flush_batch(true);
+        self.flusher.durable.lock().written
     }
 }
 
@@ -281,8 +446,17 @@ impl Drop for LogManager {
         self.flusher.shutdown.store(true, Ordering::Release);
         self.flusher.wakeup.notify_all();
         if let Some(h) = self.flusher_thread.get_mut().take() {
-            let _ = h.join();
+            join_unless_self(h);
         }
+    }
+}
+
+/// Join `handle` unless it is the calling thread's own handle — the flusher
+/// holds an `Arc<LogManager>`, so the last reference can unwind *on* the
+/// flusher thread, and `pthread_join` of self aborts the process (EDEADLK).
+fn join_unless_self(handle: JoinHandle<()>) {
+    if handle.thread().id() != std::thread::current().id() {
+        let _ = handle.join();
     }
 }
 
@@ -291,6 +465,7 @@ impl std::fmt::Debug for LogManager {
         f.debug_struct("LogManager")
             .field("protocol", &self.protocol)
             .field("durability", &self.durability)
+            .field("device", &self.device.is_some())
             .field("records", &self.record_count())
             .finish()
     }
@@ -306,6 +481,16 @@ mod tests {
             durability,
             StatsRegistry::new_shared(),
         ))
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "plp-wal-manager-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -355,6 +540,45 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "requires a log directory")]
+    fn strict_without_device_panics() {
+        let _ = LogManager::new(
+            InsertProtocol::Consolidated,
+            DurabilityMode::Strict,
+            StatsRegistry::new_shared(),
+        );
+    }
+
+    #[test]
+    fn strict_commit_is_fsynced_before_return() {
+        let dir = temp_dir("strict");
+        let stats = StatsRegistry::new_shared();
+        let m = Arc::new(
+            LogManager::with_directory(
+                InsertProtocol::Consolidated,
+                DurabilityMode::Strict,
+                stats.clone(),
+                &dir,
+                1 << 20,
+            )
+            .unwrap(),
+        );
+        m.start_flusher(Duration::from_micros(200));
+        let mut h = m.begin(1);
+        m.log_record(
+            &mut h,
+            LogRecord::with_payload(1, LogRecordKind::Insert, 0, 5, None, vec![1, 2, 3]),
+        );
+        let lsn = m.commit(&mut h);
+        assert!(m.synced_lsn() >= lsn, "strict commit returned before fsync");
+        assert!(stats.snapshot().wal.fsyncs >= 1);
+        assert!(stats.snapshot().wal.flushed_records >= 2);
+        m.stop_flusher();
+        drop(m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn flush_now_advances_durable_lsn() {
         let m = mgr(InsertProtocol::Consolidated, DurabilityMode::Lazy);
         let mut h = m.begin(1);
@@ -364,6 +588,33 @@ mod tests {
         let durable = m.flush_now();
         assert!(durable >= lsn);
         assert_eq!(m.pending_records(), 0);
+    }
+
+    #[test]
+    fn checkpoint_record_is_durable_immediately() {
+        let dir = temp_dir("ckpt");
+        let stats = StatsRegistry::new_shared();
+        let m = LogManager::with_directory(
+            InsertProtocol::Consolidated,
+            DurabilityMode::Lazy,
+            stats.clone(),
+            &dir,
+            1 << 20,
+        )
+        .unwrap();
+        let lsn = m.write_checkpoint(CheckpointData {
+            next_txn_id: 9,
+            partitions: 2,
+            ..Default::default()
+        });
+        assert!(m.synced_lsn() >= lsn);
+        assert_eq!(stats.snapshot().wal.checkpoints, 1);
+        drop(m);
+        let scan = crate::recovery::scan_log(&dir).unwrap();
+        let (ckpt_lsn, data) = scan.checkpoint.unwrap();
+        assert_eq!(ckpt_lsn, lsn);
+        assert_eq!(data.next_txn_id, 9);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -398,5 +649,54 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.record_count(), 8 * 100 * 2);
+    }
+
+    #[test]
+    fn strict_concurrent_commits_all_recover() {
+        let dir = temp_dir("strict-conc");
+        let stats = StatsRegistry::new_shared();
+        let m = Arc::new(
+            LogManager::with_directory(
+                InsertProtocol::Consolidated,
+                DurabilityMode::Strict,
+                stats,
+                &dir,
+                2048,
+            )
+            .unwrap(),
+        );
+        m.start_flusher(Duration::from_micros(100));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    let txn = t * 1000 + i + 1;
+                    let mut h = m.begin(txn);
+                    m.log_record(
+                        &mut h,
+                        LogRecord::with_payload(
+                            txn,
+                            LogRecordKind::Insert,
+                            0,
+                            txn,
+                            None,
+                            vec![t as u8; 16],
+                        ),
+                    );
+                    m.commit(&mut h);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        m.stop_flusher();
+        drop(m);
+        let scan = crate::recovery::scan_log(&dir).unwrap();
+        assert_eq!(scan.committed.len(), 100);
+        assert_eq!(scan.redo_records().count(), 100);
+        assert!(scan.losers.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

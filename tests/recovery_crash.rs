@@ -1,0 +1,336 @@
+//! Crash-recovery integration tests.
+//!
+//! * A property test commits a batch of transactions under
+//!   `DurabilityMode::Strict`, truncates the on-disk log at an arbitrary
+//!   byte offset (the crash), recovers, and asserts that exactly the
+//!   transactions whose commit record survived are visible — committed
+//!   effects intact, no uncommitted effect resurrected.
+//! * A deterministic kill-mid-workload test SIGKILLs a child process running
+//!   a Strict workload (loads, a repartition, then an endless insert
+//!   stream), recovers from its log directory, and checks every transaction
+//!   the child reported as committed, plus identical partition boundaries.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use plp_core::{
+    Action, ActionOutput, Design, Engine, EngineConfig, TableId, TableSpec, TransactionPlan,
+};
+use plp_wal::DurabilityMode;
+use proptest::prelude::*;
+
+const TABLE: TableId = TableId(0);
+const KEY_SPACE: u64 = 1 << 20;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "plp-recovery-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn strict_config(dir: &Path) -> EngineConfig {
+    EngineConfig::new(Design::PlpRegular)
+        .with_partitions(2)
+        .with_durability(DurabilityMode::Strict)
+        .with_log_dir(dir)
+        .with_log_segment_bytes(2048) // many small segments
+}
+
+fn schema() -> Vec<TableSpec> {
+    vec![TableSpec::new(0, "rows", KEY_SPACE)]
+}
+
+fn value_for(key: u64) -> Vec<u8> {
+    format!("value-{key}-{}", key.wrapping_mul(0x9E3779B97F4A7C15)).into_bytes()
+}
+
+fn read_key(engine: &Engine, key: u64) -> Option<Vec<u8>> {
+    let mut session = engine.session();
+    let out = session
+        .execute(TransactionPlan::single(Action::new(
+            TABLE,
+            key,
+            move |ctx| {
+                let row = ctx.read(TABLE, key)?;
+                Ok(ActionOutput::with_rows(row.into_iter().collect()))
+            },
+        )))
+        .expect("recovered engine must serve reads");
+    out.into_iter().next().and_then(|o| o.rows.into_iter().next())
+}
+
+/// Chop `bytes` off the end of the on-disk log: the last segment is
+/// truncated; segments it swallows whole are deleted.
+fn truncate_log_by(dir: &Path, mut bytes: u64) {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("seg"))
+        .collect();
+    segments.sort();
+    while bytes > 0 {
+        let Some(last) = segments.pop() else { return };
+        let len = std::fs::metadata(&last).unwrap().len();
+        if bytes >= len {
+            std::fs::remove_file(&last).unwrap();
+            bytes -= len;
+        } else {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&last)
+                .unwrap()
+                .set_len(len - bytes)
+                .unwrap();
+            return;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Truncate the log at a random byte offset: every transaction whose
+    /// commit record survived must be fully visible after recovery, every
+    /// other transaction must have left no trace.
+    #[test]
+    fn truncated_log_recovers_exactly_the_surviving_commits(
+        n_txns in 15u64..45,
+        cut in 1u64..6000,
+    ) {
+        let dir = temp_dir(&format!("prop-{n_txns}-{cut}"));
+        let engine = Engine::start(strict_config(&dir), &schema());
+        engine.finish_loading();
+        {
+            let mut session = engine.session();
+            for i in 0..n_txns {
+                let key = i * 7 + 1;
+                let val = value_for(key);
+                session
+                    .execute(TransactionPlan::single(Action::new(TABLE, key, move |ctx| {
+                        ctx.insert(TABLE, key, &val, None)?;
+                        Ok(ActionOutput::empty())
+                    })))
+                    .unwrap();
+            }
+        }
+        drop(engine); // Strict: every commit already fsynced.
+
+        // The crash: the tail of the log vanishes mid-record.
+        truncate_log_by(&dir, cut);
+
+        // Ground truth from the surviving log.
+        let scan = plp_wal::scan_log(&dir).unwrap();
+        let committed: BTreeSet<u64> = scan.committed.iter().copied().collect();
+        // Transactions committed in id order, so the survivors form a prefix.
+        if let Some(&max) = committed.iter().max() {
+            prop_assert_eq!(committed.len() as u64, max, "commit set must be a prefix");
+        }
+        prop_assert!(committed.len() as u64 <= n_txns);
+
+        let (recovered, report) =
+            Engine::recover(&dir, strict_config(&dir), &schema()).expect("recovery");
+        prop_assert_eq!(report.committed_txns, committed.len() as u64);
+        recovered.finish_loading();
+        for i in 0..n_txns {
+            let key = i * 7 + 1;
+            let txn_id = i + 1; // single session ⇒ sequential ids from 1
+            let visible = read_key(&recovered, key);
+            if committed.contains(&txn_id) {
+                prop_assert_eq!(
+                    visible.as_deref(),
+                    Some(value_for(key).as_slice()),
+                    "committed txn {} (key {}) must survive", txn_id, key
+                );
+            } else {
+                prop_assert_eq!(
+                    visible, None,
+                    "uncommitted txn {} (key {}) must leave no trace", txn_id, key
+                );
+            }
+        }
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic kill-mid-workload test
+// ---------------------------------------------------------------------------
+
+const CHILD_DIR_ENV: &str = "PLP_RECOVERY_CRASH_DIR";
+const CHILD_ORACLE_ENV: &str = "PLP_RECOVERY_CRASH_ORACLE";
+const CHILD_LOADED_KEYS: u64 = 256;
+const CHILD_BOUNDS: [u64; 2] = [0, 300_000];
+const CHILD_INSERT_BASE: u64 = 500_000;
+
+fn child_config(dir: &Path) -> EngineConfig {
+    EngineConfig::new(Design::PlpRegular)
+        .with_partitions(2)
+        .with_durability(DurabilityMode::Strict)
+        .with_log_dir(dir)
+        .with_log_segment_bytes(32 * 1024)
+        .with_checkpoint_interval(std::time::Duration::from_millis(25))
+}
+
+/// Child-process entry point.  A no-op unless the driver test re-invokes the
+/// test binary with the env vars set; then it runs a Strict workload forever
+/// (the parent SIGKILLs it) and reports each durable commit to the oracle
+/// file *after* commit returns — so every oracle line is provably durable.
+#[test]
+fn recovery_crash_child() {
+    use std::io::Write;
+    let Ok(dir) = std::env::var(CHILD_DIR_ENV) else {
+        return;
+    };
+    let oracle_path = std::env::var(CHILD_ORACLE_ENV).expect("oracle path");
+    let mut oracle = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&oracle_path)
+        .expect("open oracle");
+
+    let engine = Engine::start(child_config(Path::new(&dir)), &schema());
+    for k in 0..CHILD_LOADED_KEYS {
+        engine.db().load_record(TABLE, k, &value_for(k), None).unwrap();
+    }
+    engine.finish_loading();
+    engine.repartition(TABLE, &CHILD_BOUNDS).unwrap();
+    // The repartition record rides ahead of the next strict commit in the
+    // log, so once any later commit is durable the boundary change is too.
+    writeln!(oracle, "BOUNDS {} {}", CHILD_BOUNDS[0], CHILD_BOUNDS[1]).unwrap();
+    oracle.flush().unwrap();
+
+    let mut session = engine.session();
+    for i in 0..u64::MAX {
+        let key = CHILD_INSERT_BASE + i;
+        let val = value_for(key);
+        session
+            .execute(TransactionPlan::single(Action::new(TABLE, key, move |ctx| {
+                ctx.insert(TABLE, key, &val, None)?;
+                Ok(ActionOutput::empty())
+            })))
+            .unwrap();
+        // Only *after* the strict commit returned is the key reported.
+        writeln!(oracle, "K {key}").unwrap();
+        oracle.flush().unwrap();
+    }
+}
+
+/// SIGKILL the child mid-workload, then recover its log directory: every
+/// oracle-reported commit must be visible, partition boundaries identical,
+/// and no uncommitted insert may survive.
+#[test]
+#[cfg(unix)]
+fn sigkill_mid_workload_recovers_all_reported_commits() {
+    use std::os::unix::process::ExitStatusExt;
+
+    let dir = temp_dir("sigkill");
+    std::fs::create_dir_all(&dir).unwrap();
+    let oracle_path = dir.join("oracle.txt");
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(&exe)
+        .args(["recovery_crash_child", "--exact", "--nocapture", "--test-threads=1"])
+        .env(CHILD_DIR_ENV, dir.join("wal"))
+        .env(CHILD_ORACLE_ENV, &oracle_path)
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child");
+
+    // Wait until the child has durably committed a healthy batch.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let lines = std::fs::read_to_string(&oracle_path)
+            .map(|s| s.lines().filter(|l| l.starts_with("K ")).count())
+            .unwrap_or(0);
+        if lines >= 40 {
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("child never reached 40 commits (oracle at {lines})");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL child"); // SIGKILL: no destructors, no flush
+    let status = child.wait().unwrap();
+    assert_eq!(status.signal(), Some(9), "child must die by SIGKILL");
+
+    // Parse the oracle: reported-durable keys and the repartition marker.
+    let oracle = std::fs::read_to_string(&oracle_path).unwrap();
+    let mut reported: Vec<u64> = Vec::new();
+    let mut bounds_marker = None;
+    for line in oracle.lines() {
+        // A torn final line (killed mid-write) is fine — ignore it.
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("K") => {
+                if let Some(Ok(k)) = parts.next().map(str::parse) {
+                    reported.push(k);
+                }
+            }
+            Some("BOUNDS") => {
+                let lo = parts.next().and_then(|p| p.parse().ok());
+                let hi = parts.next().and_then(|p| p.parse().ok());
+                if let (Some(lo), Some(hi)) = (lo, hi) {
+                    bounds_marker = Some(vec![lo, hi]);
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(reported.len() >= 40);
+    assert_eq!(bounds_marker, Some(CHILD_BOUNDS.to_vec()));
+
+    // Recover.  The log almost certainly has a torn tail; that must be fine.
+    let wal_dir = dir.join("wal");
+    let scan = plp_wal::scan_log(&wal_dir).unwrap();
+    let (recovered, report) =
+        Engine::recover(&wal_dir, child_config(&wal_dir), &schema()).expect("recovery");
+    recovered.finish_loading();
+
+    // Identical routing: the pre-crash repartition is restored.
+    assert_eq!(
+        recovered.partition_manager().unwrap().bounds(TABLE),
+        CHILD_BOUNDS.to_vec(),
+        "recovered engine must route identically to the pre-crash one"
+    );
+
+    // Every loaded record and every reported commit is intact.
+    for k in (0..CHILD_LOADED_KEYS).step_by(17) {
+        assert_eq!(read_key(&recovered, k).as_deref(), Some(value_for(k).as_slice()));
+    }
+    for &k in &reported {
+        assert_eq!(
+            read_key(&recovered, k).as_deref(),
+            Some(value_for(k).as_slice()),
+            "reported-durable key {k} must survive the SIGKILL"
+        );
+    }
+
+    // No uncommitted effect: any insert logged without a surviving commit
+    // record must be invisible, and untouched keys stay absent.
+    for record in &scan.records {
+        if record.kind == plp_wal::LogRecordKind::Insert
+            && record.txn_id != 0
+            && !scan.committed.contains(&record.txn_id)
+        {
+            assert_eq!(
+                read_key(&recovered, record.page),
+                None,
+                "loser txn {} left key {} behind",
+                record.txn_id,
+                record.page
+            );
+        }
+    }
+    let never_written = CHILD_INSERT_BASE + reported.len() as u64 + 10_000;
+    assert_eq!(read_key(&recovered, never_written), None);
+    assert!(report.committed_txns >= reported.len() as u64);
+
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
