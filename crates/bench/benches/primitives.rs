@@ -90,7 +90,9 @@ fn bench_locking(c: &mut Criterion) {
         b.iter(|| {
             k += 1;
             let id = LockId::Key(1, k);
-            central.acquire_hierarchical(1, id, LockMode::X, None).unwrap();
+            central
+                .acquire_hierarchical(1, id, LockMode::X, None)
+                .unwrap();
             central.release_all(1, &[id, LockId::Table(1), LockId::Database]);
         })
     });
@@ -112,17 +114,21 @@ fn bench_log_insert(c: &mut Criterion) {
     ] {
         let stats = StatsRegistry::new_shared();
         let log = LogManager::new(protocol, DurabilityMode::Lazy, stats);
-        group.bench_with_input(BenchmarkId::new("txn_with_4_records", name), &log, |b, log| {
-            let mut t = 0u64;
-            b.iter(|| {
-                t += 1;
-                let mut h = log.begin(t);
-                for page in 0..4 {
-                    log.log(&mut h, LogRecordKind::Update, page, 64);
-                }
-                log.commit(&mut h)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("txn_with_4_records", name),
+            &log,
+            |b, log| {
+                let mut t = 0u64;
+                b.iter(|| {
+                    t += 1;
+                    let mut h = log.begin(t);
+                    for page in 0..4 {
+                        log.log(&mut h, LogRecordKind::Update, page, 64);
+                    }
+                    log.commit(&mut h)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,69 @@
+//! CI perf-regression gate for the message-passing microbenchmark.
+//!
+//! Usage: `check_bench <current.json> <baseline.json> [threshold]`
+//!
+//! Compares the lock-free/mutex cost *ratios* of a fresh `fig_msgcost
+//! --json` run against the committed `BENCH_BASELINE.json` and exits
+//! non-zero when any matching thread-count point regressed by more than
+//! `threshold` (default 0.30 = 30%).  Ratios, not absolute nanoseconds, so
+//! the gate is robust to CI-runner hardware differences; refresh the
+//! baseline deliberately when the expected cost profile changes.
+use plp_bench::msgcost::{check_against_baseline, parse_msgcost_json, DEFAULT_THRESHOLD};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (current_path, baseline_path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(b)) => (c.clone(), b.clone()),
+        _ => {
+            eprintln!("usage: check_bench <current.json> <baseline.json> [threshold]");
+            std::process::exit(2);
+        }
+    };
+    let threshold: f64 = args
+        .get(2)
+        .map(|t| t.parse().expect("threshold must be a number"))
+        .unwrap_or(DEFAULT_THRESHOLD);
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("check_bench: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let parse = |path: &str, doc: &str| {
+        parse_msgcost_json(doc).unwrap_or_else(|e| {
+            eprintln!("check_bench: cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let current_doc = read(&current_path);
+    let baseline_doc = read(&baseline_path);
+    let current = parse(&current_path, &current_doc);
+    let baseline = parse(&baseline_path, &baseline_doc);
+
+    match check_against_baseline(&current, &baseline, threshold) {
+        Ok(report) => {
+            println!(
+                "perf gate passed ({} vs {} @ {:.0}% threshold):",
+                current_path,
+                baseline_path,
+                threshold * 100.0
+            );
+            for line in report {
+                println!("  {line}");
+            }
+        }
+        Err(failures) => {
+            eprintln!(
+                "perf gate FAILED ({} vs {} @ {:.0}% threshold):",
+                current_path,
+                baseline_path,
+                threshold * 100.0
+            );
+            for line in failures {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Message-cost microbenchmark: per-message round trip, mutex+condvar vs
+//! lock-free, across thread counts (the communication cost behind Figure 1).
+//!
+//! `--full` uses larger parameters and more thread counts; `--json [path]`
+//! additionally writes the machine-readable sweep for the CI perf gate
+//! (default path `bench_msgcost.json`, compared against the committed
+//! `BENCH_BASELINE.json` by `check_bench`).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        plp_bench::Scale::full()
+    } else {
+        plp_bench::Scale::quick()
+    };
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "bench_msgcost.json".to_string())
+    });
+
+    let points = plp_bench::msgcost::measure_msgcost(scale);
+    plp_bench::print_tables(&[plp_bench::msgcost::sweep_table(&points)]);
+
+    if let Some(path) = json_path {
+        let doc = plp_bench::msgcost::msgcost_json(&points);
+        std::fs::write(&path, doc).expect("write msgcost json");
+        println!("wrote {path}");
+    }
+}

@@ -21,6 +21,10 @@ fn main() {
     section("Table 1", plp_bench::table1_repartition_cost());
     section("Table 2", plp_bench::table2_cost_model());
     section("Figure 1", plp_bench::fig1_critical_sections(scale));
+    section(
+        "Message cost (lock-free vs mutex+condvar)",
+        plp_bench::fig_msgcost(scale),
+    );
     section("Figure 2", plp_bench::fig2_latch_breakdown(scale));
     section("Figure 3", plp_bench::fig3_latches_by_design(scale));
     section("Figure 5", plp_bench::fig5_read_only_scaling(scale));
@@ -31,10 +35,19 @@ fn main() {
     section("Figure 10", plp_bench::fig10_parallel_smo(scale));
     section("Figure 11", plp_bench::fig11_fragmentation(scale));
     section("Figure 12", plp_bench::fig12_heap_scan(scale));
-    section("Ablation: log protocol", plp_bench::ablation_log_protocol(scale));
-    section("Ablation: padding vs PLP-Leaf", plp_bench::ablation_padding(scale));
+    section(
+        "Ablation: log protocol",
+        plp_bench::ablation_log_protocol(scale),
+    );
+    section(
+        "Ablation: padding vs PLP-Leaf",
+        plp_bench::ablation_padding(scale),
+    );
     section("DLB: shifting hotspot", plp_bench::fig_dlb_skew(scale));
-    section("Durability & crash recovery", plp_bench::fig_durability(scale));
+    section(
+        "Durability & crash recovery",
+        plp_bench::fig_durability(scale),
+    );
     std::fs::write("reproduction_results.md", md).expect("write results");
     let json = format!("{{\"sections\":[{}]}}\n", json_sections.join(","));
     std::fs::write("reproduction_results.json", json).expect("write json results");

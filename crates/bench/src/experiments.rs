@@ -3,8 +3,8 @@
 use std::time::{Duration, Instant};
 
 use plp_core::{Design, EngineConfig, IndexKind, TableId};
-use plp_instrument::{Cell, CsCategory, PageKind, Table};
 use plp_instrument::StatsRegistry;
+use plp_instrument::{Cell, CsCategory, PageKind, Table};
 use plp_storage::{Access, BufferPool, HeapFile, PlacementHint, PlacementPolicy};
 use plp_workloads::driver::{prepare_engine, run_fixed, run_timed, RunResult};
 use plp_workloads::micro::{BalanceProbe, InsertDeleteHeavy, ProbeInsertMix};
@@ -90,7 +90,8 @@ pub fn fig2_latch_breakdown(scale: Scale) -> Vec<Table> {
     let tatp = Tatp::new(scale.subscribers);
     let tpcb = TpcB::new(4);
     let tpcc = Tpcc::new(2).with_scale(2_000, 100);
-    let workloads: [(&str, &dyn Workload); 3] = [("TATP", &tatp), ("TPC-B", &tpcb), ("TPC-C", &tpcc)];
+    let workloads: [(&str, &dyn Workload); 3] =
+        [("TATP", &tatp), ("TPC-B", &tpcb), ("TPC-C", &tpcc)];
     for (name, w) in workloads {
         let r = run_design(
             Design::Conventional { sli: true },
@@ -119,7 +120,14 @@ pub fn fig3_latches_by_design(scale: Scale) -> Vec<Table> {
     let threads = scale.max_threads.min(4);
     let mut table = Table::new(
         "Figure 3 — page latches per transaction by design (TATP)",
-        &["design", "INDEX", "HEAP", "CATALOG/SPACE", "total", "% of conventional"],
+        &[
+            "design",
+            "INDEX",
+            "HEAP",
+            "CATALOG/SPACE",
+            "total",
+            "% of conventional",
+        ],
     );
     let mut conventional_total = None;
     for design in [
@@ -184,7 +192,14 @@ pub fn table2_cost_model() -> Vec<Table> {
     use plp_btree::{CostModelParams, RepartitionCost, SystemKind};
     let mut table = Table::new(
         "Table 2 — cost model sweep (records moved when splitting in half)",
-        &["tree levels", "entries/node", "PLP-Regular", "PLP-Leaf", "PLP-Partition", "Shared-Nothing"],
+        &[
+            "tree levels",
+            "entries/node",
+            "PLP-Regular",
+            "PLP-Leaf",
+            "PLP-Partition",
+            "Shared-Nothing",
+        ],
     );
     for levels in [2u32, 3, 4] {
         for n in [100u64, 170, 300] {
@@ -269,8 +284,17 @@ pub fn fig6_insdel_breakdown(scale: Scale) -> Vec<Table> {
     for &threads in &scale.thread_sweep()[1..] {
         let micro = InsertDeleteHeavy::new(scale.subscribers);
         let mut table = Table::new(
-            format!("Figure 6 — time breakdown per txn (µs), insert/delete-heavy, {threads} threads"),
-            &["design", "idx latch wait", "heap latch wait", "SMO wait", "other", "total"],
+            format!(
+                "Figure 6 — time breakdown per txn (µs), insert/delete-heavy, {threads} threads"
+            ),
+            &[
+                "design",
+                "idx latch wait",
+                "heap latch wait",
+                "SMO wait",
+                "other",
+                "total",
+            ],
         );
         for design in [
             Design::Conventional { sli: true },
@@ -293,7 +317,14 @@ pub fn fig7_tpcb_false_sharing(scale: Scale) -> Vec<Table> {
         let tpcb = TpcB::new((threads as u64).max(2));
         let mut table = Table::new(
             format!("Figure 7 — time breakdown per txn (µs), TPC-B no padding, {threads} threads"),
-            &["design", "idx latch wait", "heap latch wait", "SMO wait", "other", "total"],
+            &[
+                "design",
+                "idx latch wait",
+                "heap latch wait",
+                "SMO wait",
+                "other",
+                "total",
+            ],
         );
         for design in [
             Design::Conventional { sli: true },
@@ -325,7 +356,9 @@ pub fn fig8_repartitioning(scale: Scale) -> Vec<Table> {
     );
     for design in designs {
         let workload = BalanceProbe::new(scale.subscribers);
-        let config = EngineConfig::new(design).with_partitions(2).with_fanout(128);
+        let config = EngineConfig::new(design)
+            .with_partitions(2)
+            .with_fanout(128);
         let engine = prepare_engine(config, &workload);
         let window = Duration::from_millis(400);
         let before = run_timed(&engine, &workload, 2, window, 1);
@@ -402,7 +435,13 @@ pub fn fig10_parallel_smo(scale: Scale) -> Vec<Table> {
     let threads = scale.max_threads.min(8);
     let mut table = Table::new(
         "Figure 10 — µs per txn vs insert percentage (Conventional), normal vs MRBTree",
-        &["insert %", "Normal µs/txn", "Normal SMO wait µs", "MRBT µs/txn", "MRBT SMO wait µs"],
+        &[
+            "insert %",
+            "Normal µs/txn",
+            "Normal SMO wait µs",
+            "MRBT µs/txn",
+            "MRBT SMO wait µs",
+        ],
     );
     for pct in [0u32, 20, 40, 60, 80, 100] {
         let mut cells = vec![Cell::from(pct as u64)];
@@ -429,7 +468,14 @@ pub fn fig10_parallel_smo(scale: Scale) -> Vec<Table> {
 pub fn fig11_fragmentation(scale: Scale) -> Vec<Table> {
     let mut table = Table::new(
         "Figure 11 — heap pages used, normalised to the conventional layout",
-        &["records", "record size", "partitions", "Regular", "PLP-Partition", "PLP-Leaf"],
+        &[
+            "records",
+            "record size",
+            "partitions",
+            "Regular",
+            "PLP-Partition",
+            "PLP-Leaf",
+        ],
     );
     for &(records, record_size) in &[(20_000u64, 100usize), (5_000, 1000)] {
         let partitions = if record_size == 100 { 100u32 } else { 10 };
@@ -558,8 +604,16 @@ pub fn ablation_padding(scale: Scale) -> Vec<Table> {
         &["configuration", "heap latch wait µs/txn", "throughput Ktps"],
     );
     let cases: [(&str, Design, bool); 3] = [
-        ("Conventional, no padding", Design::Conventional { sli: true }, false),
-        ("Conventional, padded records", Design::Conventional { sli: true }, true),
+        (
+            "Conventional, no padding",
+            Design::Conventional { sli: true },
+            false,
+        ),
+        (
+            "Conventional, padded records",
+            Design::Conventional { sli: true },
+            true,
+        ),
         ("PLP-Leaf, no padding", Design::PlpLeaf, false),
     ];
     for (name, design, pad) in cases {
@@ -696,10 +750,7 @@ pub fn fig_dlb_skew(scale: Scale) -> Vec<Table> {
 /// journal rolling every table back with the engine still serving.
 fn dlb_rollback_demo(scale: Scale, window: Duration) -> Table {
     let tatp = Tatp::new((scale.subscribers / 2).max(600));
-    let engine = prepare_engine(
-        EngineConfig::new(Design::PlpLeaf).with_partitions(2),
-        &tatp,
-    );
+    let engine = prepare_engine(EngineConfig::new(Design::PlpLeaf).with_partitions(2), &tatp);
     let pm = engine
         .partition_manager()
         .expect("PLP designs are partitioned");
@@ -822,8 +873,8 @@ pub fn fig_durability(scale: Scale) -> Vec<Table> {
     drop(engine); // crash: no shutdown, no final checkpoint
 
     let t0 = Instant::now();
-    let (recovered, report) = plp_core::Engine::recover(&dir, config, &tpcb.schema())
-        .expect("fig_durability recovery");
+    let (recovered, report) =
+        plp_core::Engine::recover(&dir, config, &tpcb.schema()).expect("fig_durability recovery");
     let elapsed = t0.elapsed();
     let bounds_after: Vec<Vec<u64>> = recovered
         .db()
@@ -836,7 +887,11 @@ pub fn fig_durability(scale: Scale) -> Vec<Table> {
         Cell::Int(report.committed_txns as i64),
         Cell::Int(report.records_replayed as i64),
         Cell::Int(report.torn_bytes as i64),
-        Cell::from(if bounds_before == bounds_after { "yes" } else { "NO" }),
+        Cell::from(if bounds_before == bounds_after {
+            "yes"
+        } else {
+            "NO"
+        }),
         Cell::FloatPrec(elapsed.as_secs_f64() * 1_000.0, 1),
     ]);
     drop(recovered);

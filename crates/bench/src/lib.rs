@@ -9,8 +9,10 @@
 //! is what these experiments check.
 
 pub mod experiments;
+pub mod msgcost;
 
 pub use experiments::*;
+pub use msgcost::fig_msgcost;
 
 use plp_instrument::Table;
 

@@ -149,7 +149,12 @@ impl MrbTree {
     // Point operations (route + delegate)
     // ------------------------------------------------------------------
 
-    pub fn insert(&self, key: u64, value: u64, access: Access) -> Result<InsertOutcome, BTreeError> {
+    pub fn insert(
+        &self,
+        key: u64,
+        value: u64,
+        access: Access,
+    ) -> Result<InsertOutcome, BTreeError> {
         self.route(key).1.insert(key, value, access)
     }
 
@@ -170,7 +175,12 @@ impl MrbTree {
     }
 
     /// Range scan that may span multiple partitions.
-    pub fn range_scan(&self, lo: u64, hi: u64, access: Access) -> Result<Vec<(u64, u64)>, BTreeError> {
+    pub fn range_scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        access: Access,
+    ) -> Result<Vec<(u64, u64)>, BTreeError> {
         let mut out = Vec::new();
         let first = self.partition_of(lo) as usize;
         let last = self.partition_of(hi) as usize;
@@ -820,8 +830,14 @@ mod tests {
         t.assign_partition_owner(0, OwnerToken(11));
         t.assign_partition_owner(1, OwnerToken(22));
         // Owned probes work per partition with the right token.
-        assert_eq!(t.probe(10, Access::Owned(OwnerToken(11))).unwrap(), Some(10));
-        assert_eq!(t.probe(60, Access::Owned(OwnerToken(22))).unwrap(), Some(60));
+        assert_eq!(
+            t.probe(10, Access::Owned(OwnerToken(11))).unwrap(),
+            Some(10)
+        );
+        assert_eq!(
+            t.probe(60, Access::Owned(OwnerToken(22))).unwrap(),
+            Some(60)
+        );
         t.clear_owners();
         assert_eq!(t.probe(10, Access::Latched).unwrap(), Some(10));
     }

@@ -346,7 +346,10 @@ mod tests {
         assert_eq!(NodeView::remove(&mut p, 3), None);
         assert_eq!(NodeView::entry_count(&p), 4);
         assert!(NodeView::is_sorted(&p));
-        assert_eq!(NodeView::entries(&p), vec![(1, 10), (2, 20), (4, 40), (5, 50)]);
+        assert_eq!(
+            NodeView::entries(&p),
+            vec![(1, 10), (2, 20), (4, 40), (5, 50)]
+        );
         let (k, v) = NodeView::remove_at(&mut p, 0);
         assert_eq!((k, v), (1, 10));
         assert_eq!(NodeView::entry_count(&p), 3);
@@ -398,7 +401,10 @@ mod tests {
     #[test]
     #[allow(clippy::assertions_on_constants)] // compile-time fanout sanity check
     fn max_capacity_matches_page_size() {
-        assert_eq!(MAX_NODE_ENTRIES, (PAGE_SIZE - NODE_HEADER_SIZE) / ENTRY_SIZE);
+        assert_eq!(
+            MAX_NODE_ENTRIES,
+            (PAGE_SIZE - NODE_HEADER_SIZE) / ENTRY_SIZE
+        );
         assert!(MAX_NODE_ENTRIES >= 500);
         let mut p = leaf();
         for k in 0..MAX_NODE_ENTRIES as u64 {

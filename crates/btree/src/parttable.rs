@@ -43,7 +43,10 @@ impl PartitionTable {
     /// Create a partition table with the given initial ranges (must be sorted
     /// by `start_key`).
     pub fn new(pool: &BufferPool, ranges: Vec<RangeEntry>) -> Self {
-        assert!(!ranges.is_empty(), "partition table needs at least one range");
+        assert!(
+            !ranges.is_empty(),
+            "partition table needs at least one range"
+        );
         assert!(
             ranges.windows(2).all(|w| w[0].start_key < w[1].start_key),
             "ranges must be sorted and disjoint"

@@ -196,11 +196,7 @@ impl BTree {
 
     /// Descend recording the full root-to-leaf path (used by the pessimistic
     /// split path, which runs under the SMO mutex).
-    fn descend_with_path(
-        &self,
-        key: u64,
-        access: Access,
-    ) -> Result<Vec<Arc<Frame>>, BTreeError> {
+    fn descend_with_path(&self, key: u64, access: Access) -> Result<Vec<Arc<Frame>>, BTreeError> {
         let mut path = Vec::with_capacity(4);
         let mut current = self.frame(self.root)?;
         loop {
@@ -297,15 +293,14 @@ impl BTree {
 
     /// Update the value stored under `key`.  Returns `false` if absent.
     pub fn update_value(&self, key: u64, value: u64, access: Access) -> Result<bool, BTreeError> {
-        let (_, updated) = self.with_covering_leaf_write(key, access, |page| {
-            match NodeView::search(page, key) {
+        let (_, updated) =
+            self.with_covering_leaf_write(key, access, |page| match NodeView::search(page, key) {
                 Ok(i) => {
                     NodeView::set_value_at(page, i, value);
                     true
                 }
                 Err(_) => false,
-            }
-        })?;
+            })?;
         Ok(updated)
     }
 
@@ -317,7 +312,12 @@ impl BTree {
     }
 
     /// Insert a unique key.
-    pub fn insert(&self, key: u64, value: u64, access: Access) -> Result<InsertOutcome, BTreeError> {
+    pub fn insert(
+        &self,
+        key: u64,
+        value: u64,
+        access: Access,
+    ) -> Result<InsertOutcome, BTreeError> {
         #[derive(Clone, Copy)]
         enum Attempt {
             Done,
@@ -506,7 +506,11 @@ impl BTree {
             })
         });
         // Route the pending separator into the correct half.
-        let target = if separator >= push_up { &new_parent } else { parent };
+        let target = if separator >= push_up {
+            &new_parent
+        } else {
+            parent
+        };
         let ok = target.with_write_access(access, |page| {
             NodeView::insert(page, separator, new_child.0, self.max_entries)
         });
@@ -518,7 +522,12 @@ impl BTree {
     /// Grow the tree when the (fixed) root splits: move the root's contents
     /// into a fresh left child, and make the root an interior node over the
     /// left child and `new_child`.
-    fn grow_root(&self, separator: u64, new_child: PageId, access: Access) -> Result<(), BTreeError> {
+    fn grow_root(
+        &self,
+        separator: u64,
+        new_child: PageId,
+        access: Access,
+    ) -> Result<(), BTreeError> {
         let root = self.frame(self.root)?;
         let root_level = root.with_page(NodeView::level);
         let left = self.alloc_node(root_level, access);
@@ -564,7 +573,12 @@ impl BTree {
     }
 
     /// Collect all entries with `lo <= key <= hi`.
-    pub fn range_scan(&self, lo: u64, hi: u64, access: Access) -> Result<Vec<(u64, u64)>, BTreeError> {
+    pub fn range_scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        access: Access,
+    ) -> Result<Vec<(u64, u64)>, BTreeError> {
         let mut out = Vec::new();
         let mut leaf_id = self.locate_leaf(lo, access)?;
         loop {
@@ -767,7 +781,10 @@ mod tests {
         }
         assert_eq!(t.probe(1000, Access::Latched).unwrap(), None);
         assert_eq!(t.entry_count(), 100);
-        assert!(t.height() >= 3, "fanout 8 with 100 keys must be multi-level");
+        assert!(
+            t.height() >= 3,
+            "fanout 8 with 100 keys must be multi-level"
+        );
     }
 
     #[test]

@@ -79,11 +79,17 @@ impl ActionOutput {
     }
 
     pub fn with_rows(rows: Vec<Vec<u8>>) -> Self {
-        Self { rows, values: Vec::new() }
+        Self {
+            rows,
+            values: Vec::new(),
+        }
     }
 
     pub fn with_values(values: Vec<u64>) -> Self {
-        Self { rows: Vec::new(), values }
+        Self {
+            rows: Vec::new(),
+            values,
+        }
     }
 }
 

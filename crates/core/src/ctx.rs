@@ -88,16 +88,14 @@ impl DataContext for ConventionalCtx<'_> {
         // Capture the before/after images at the storage layer so the log
         // record carries real redo (and future undo) bytes.
         let mut images: Option<(Vec<u8>, Vec<u8>)> = None;
-        let found = self.db.table(table)?.update_with(
-            key,
-            Access::Latched,
-            Access::Latched,
-            |bytes| {
-                let before = bytes.to_vec();
-                f(bytes);
-                images = Some((before, bytes.to_vec()));
-            },
-        )?;
+        let found =
+            self.db
+                .table(table)?
+                .update_with(key, Access::Latched, Access::Latched, |bytes| {
+                    let before = bytes.to_vec();
+                    f(bytes);
+                    images = Some((before, bytes.to_vec()));
+                })?;
         if let Some((before, after)) = images {
             self.log(LogRecord::with_payload(
                 self.txn.id(),

@@ -209,7 +209,14 @@ fn controller_loop(
         ticks = ticks.wrapping_add(1);
         // Evaluate before decaying so the decision sees the full window.
         if ticks.is_multiple_of(config.evaluate_every.max(1)) {
-            evaluate_once(&db, &pm, &histograms, design, &config, &mut last_repartition);
+            evaluate_once(
+                &db,
+                &pm,
+                &histograms,
+                design,
+                &config,
+                &mut last_repartition,
+            );
         }
         histograms.decay_all(config.decay_shift);
         histograms.refresh_refinement_all(config.refine_hot_factor);

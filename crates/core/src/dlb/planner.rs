@@ -334,8 +334,7 @@ mod tests {
             entry_size: 32,
             has_secondary: false,
         };
-        let regular =
-            make_plan(&snap, &old, 1, &params, SystemKind::PlpRegular, 1_600, 1).unwrap();
+        let regular = make_plan(&snap, &old, 1, &params, SystemKind::PlpRegular, 1_600, 1).unwrap();
         let partition =
             make_plan(&snap, &old, 1, &params, SystemKind::PlpPartition, 1_600, 1).unwrap();
         assert_eq!(regular.new_bounds, partition.new_bounds);
@@ -368,8 +367,7 @@ mod tests {
             entry_size: 32,
             has_secondary: false,
         };
-        let lone =
-            make_plan(&snap, &old, 1, &params, SystemKind::PlpPartition, 1_600, 1).unwrap();
+        let lone = make_plan(&snap, &old, 1, &params, SystemKind::PlpPartition, 1_600, 1).unwrap();
         let group =
             make_plan(&snap, &old, 1, &params, SystemKind::PlpPartition, 64_000, 4).unwrap();
         assert_eq!(lone.new_bounds, group.new_bounds);
@@ -386,13 +384,27 @@ mod tests {
     fn make_plan_returns_none_without_signal_or_change() {
         let params = CostModelParams::table1_scenario();
         let empty = LoadSnapshot::new(1_000, vec![0; 8]);
-        assert!(
-            make_plan(&empty, &[0, 500], 1, &params, SystemKind::PlpRegular, 100, 1).is_none()
-        );
+        assert!(make_plan(
+            &empty,
+            &[0, 500],
+            1,
+            &params,
+            SystemKind::PlpRegular,
+            100,
+            1
+        )
+        .is_none());
         // A perfectly balanced snapshot re-plans the same bounds -> None.
         let uniform = LoadSnapshot::new(1_000, vec![100; 10]);
-        assert!(
-            make_plan(&uniform, &[0, 500], 100, &params, SystemKind::PlpRegular, 100, 1).is_none()
-        );
+        assert!(make_plan(
+            &uniform,
+            &[0, 500],
+            100,
+            &params,
+            SystemKind::PlpRegular,
+            100,
+            1
+        )
+        .is_none());
     }
 }

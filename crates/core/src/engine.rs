@@ -18,6 +18,7 @@ use crate::database::Database;
 use crate::dlb::{HistogramSet, LoadBalancerHandle};
 use crate::error::EngineError;
 use crate::partition::PartitionManager;
+use crate::reply::ReplySlot;
 use crate::worker::ActionReply;
 
 /// A running instance of one execution design over one database.
@@ -75,8 +76,7 @@ impl Engine {
         let (partition_mgr, dlb) = if design.is_partitioned() {
             let mut pm = PartitionManager::new(db.clone(), design, partitions);
             let histograms = if dlb_config.enabled {
-                let key_spaces: Vec<u64> =
-                    db.tables().iter().map(|t| t.spec().key_space).collect();
+                let key_spaces: Vec<u64> = db.tables().iter().map(|t| t.spec().key_space).collect();
                 let h = Arc::new(HistogramSet::new(
                     &key_spaces,
                     dlb_config.top_buckets,
@@ -142,10 +142,12 @@ impl Engine {
             }
         }
         config.log_dir = Some(log_dir.to_path_buf());
-        let next_txn_id = scan
-            .max_txn_id
-            .saturating_add(1)
-            .max(scan.checkpoint.as_ref().map(|(_, c)| c.next_txn_id).unwrap_or(1));
+        let next_txn_id = scan.max_txn_id.saturating_add(1).max(
+            scan.checkpoint
+                .as_ref()
+                .map(|(_, c)| c.next_txn_id)
+                .unwrap_or(1),
+        );
         let db = Database::create_at(config, schema, next_txn_id);
 
         // Redo pass: apply committed transactions' data records in LSN
@@ -219,7 +221,10 @@ impl Engine {
         use plp_storage::Access;
         use plp_wal::{LogRecordKind, UpdatePayload};
         let table = db.table(TableId(record.table)).map_err(|_| {
-            EngineError::Recovery(format!("redo record references unknown table {}", record.table))
+            EngineError::Recovery(format!(
+                "redo record references unknown table {}",
+                record.table
+            ))
         })?;
         match record.kind {
             LogRecordKind::Insert => {
@@ -238,16 +243,12 @@ impl Engine {
                         record.lsn
                     )));
                 };
-                let applied = table.update_with(
-                    record.page,
-                    Access::Latched,
-                    Access::Latched,
-                    |bytes| {
+                let applied =
+                    table.update_with(record.page, Access::Latched, Access::Latched, |bytes| {
                         if bytes.len() == images.after.len() {
                             bytes.copy_from_slice(&images.after);
                         }
-                    },
-                )?;
+                    })?;
                 if !applied {
                     return Err(EngineError::Recovery(format!(
                         "update of missing key {} in table {} at {}",
@@ -322,7 +323,11 @@ impl Engine {
             }
             _ => None,
         };
-        Session { engine: self, sli }
+        Session {
+            engine: self,
+            sli,
+            reply_pool: Vec::new(),
+        }
     }
 
     /// Repartition a table to new boundaries (partitioned designs only).
@@ -388,11 +393,7 @@ struct CheckpointerHandle {
 }
 
 impl CheckpointerHandle {
-    fn start(
-        db: Arc<Database>,
-        pm: Option<Arc<PartitionManager>>,
-        interval: Duration,
-    ) -> Self {
+    fn start(db: Arc<Database>, pm: Option<Arc<PartitionManager>>, interval: Duration) -> Self {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let stop2 = stop.clone();
         let thread = std::thread::Builder::new()
@@ -454,10 +455,18 @@ impl std::fmt::Debug for Engine {
     }
 }
 
+/// How many pooled reply slots a session keeps between stages.  Stages are
+/// small (a handful of actions), so this is comfortably above the steady
+/// state while bounding a pathological stage's footprint.
+const REPLY_POOL_MAX: usize = 128;
+
 /// Per-client-thread execution handle.
 pub struct Session<'e> {
     engine: &'e Engine,
     sli: Option<AgentLockCache>,
+    /// Recycled reply rendezvous for the partitioned hot path: after warm-up
+    /// every action dispatch reuses a slot instead of allocating a channel.
+    reply_pool: Vec<ReplySlot<ActionReply>>,
 }
 
 impl Session<'_> {
@@ -507,8 +516,7 @@ impl Session<'_> {
             let mut stage_outputs = Vec::with_capacity(plan.actions.len());
             for action in plan.actions {
                 total_actions += 1;
-                let mut ctx =
-                    ConventionalCtx::new(db, txn, self.sli.as_mut(), db.breakdown());
+                let mut ctx = ConventionalCtx::new(db, txn, self.sli.as_mut(), db.breakdown());
                 stage_outputs.push((action.run)(&mut ctx)?);
             }
             all_outputs.extend(stage_outputs.iter().cloned());
@@ -551,22 +559,37 @@ impl Session<'_> {
             // window so a concurrent (DLB-triggered) repartition can never
             // slip between routing an action and enqueueing it; it is
             // dropped before blocking on replies.
-            let mut pending = Vec::with_capacity(plan.actions.len());
+            let stats = db.stats();
+            let mut pending: Vec<(ReplySlot<ActionReply>, Instant)> =
+                Vec::with_capacity(plan.actions.len());
             {
                 let _gate = pm.dispatch_guard();
                 for action in plan.actions {
                     total_actions += 1;
                     let worker = pm.route(action.table, action.routing_key);
-                    let reply =
-                        pm.worker(worker)
-                            .send_action(txn.id(), action.run, db.stats().as_ref());
-                    pending.push(reply);
+                    let mut slot = match self.reply_pool.pop() {
+                        Some(slot) => {
+                            stats.msg().reply_reused();
+                            slot
+                        }
+                        None => {
+                            stats.msg().reply_allocated();
+                            ReplySlot::new()
+                        }
+                    };
+                    pm.worker(worker)
+                        .send_action(txn.id(), action.run, &mut slot, stats.as_ref());
+                    pending.push((slot, Instant::now()));
                 }
             }
             let mut stage_outputs = Vec::with_capacity(pending.len());
-            for reply in pending {
-                let ActionReply { result, log } =
-                    reply.recv().map_err(|_| EngineError::Shutdown)?;
+            for (mut slot, sent_at) in pending {
+                let reply = slot.wait();
+                stats.msg().roundtrip(sent_at.elapsed().as_nanos() as u64);
+                if self.reply_pool.len() < REPLY_POOL_MAX {
+                    self.reply_pool.push(slot);
+                }
+                let ActionReply { result, log } = reply.map_err(|_| EngineError::Shutdown)?;
                 // Merge the action's log records into the transaction so the
                 // commit record covers them (one consolidated insert).
                 for record in log {

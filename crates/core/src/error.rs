@@ -48,7 +48,10 @@ impl EngineError {
     /// Whether the error is a benign transaction abort (as opposed to an
     /// engine defect).
     pub fn is_abort(&self) -> bool {
-        matches!(self, EngineError::Abort(_) | EngineError::DuplicateKey { .. })
+        matches!(
+            self,
+            EngineError::Abort(_) | EngineError::DuplicateKey { .. }
+        )
     }
 }
 
@@ -81,6 +84,8 @@ mod tests {
         let e: EngineError = StorageError::PageNotFound(plp_storage::PageId(1)).into();
         assert!(!e.is_abort());
         assert!(EngineError::Abort("timeout".into()).is_abort());
-        assert!(EngineError::Abort("x".into()).to_string().contains("aborted"));
+        assert!(EngineError::Abort("x".into())
+            .to_string()
+            .contains("aborted"));
     }
 }

@@ -26,6 +26,7 @@ pub mod dlb;
 pub mod engine;
 pub mod error;
 pub mod partition;
+pub mod reply;
 pub mod table;
 pub mod worker;
 
@@ -36,4 +37,5 @@ pub use dlb::{DlbConfig, LoadBalancerHandle};
 pub use engine::{Engine, RecoveryReport};
 pub use error::EngineError;
 pub use partition::PartitionManager;
+pub use reply::{ReplyPromise, ReplySlot};
 pub use table::Table;

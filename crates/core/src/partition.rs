@@ -13,8 +13,8 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use plp_btree::PartitionId;
-use plp_storage::{Access, OwnerToken, PageId, PlacementHint, PlacementPolicy, Rid};
 use plp_storage::SlottedPage;
+use plp_storage::{Access, OwnerToken, PageId, PlacementHint, PlacementPolicy, Rid};
 
 use crate::catalog::{Design, TableId, TableSpec};
 use crate::database::Database;
@@ -196,7 +196,8 @@ impl PartitionManager {
     /// driver but before the first sibling, and so on.  One-shot.
     #[doc(hidden)]
     pub fn inject_repartition_failure_after(&self, tables: usize) {
-        self.fail_after_tables.store(tables as i64, Ordering::Relaxed);
+        self.fail_after_tables
+            .store(tables as i64, Ordering::Relaxed);
     }
 
     /// Test/bench hook: make the next repartition fail *inside* table number
@@ -211,7 +212,11 @@ impl PartitionManager {
 
     /// Consume a pending mid-table injection if `table_index`'s slice/meld
     /// progress reached it.
-    fn take_midtable_failure(&self, table_index: usize, ops_done: usize) -> Result<(), EngineError> {
+    fn take_midtable_failure(
+        &self,
+        table_index: usize,
+        ops_done: usize,
+    ) -> Result<(), EngineError> {
         let mut slot = self.fail_mid_table.lock();
         if let Some((t, ops)) = *slot {
             if t == table_index && ops_done >= ops {
@@ -537,8 +542,8 @@ impl PartitionManager {
                         let report = mrb
                             .slice(b)
                             .map_err(|e| EngineError::from_btree(table_id, e))?;
-                        records_moved += self
-                            .fix_placement_after_slice(table_id, &report.moved_leaf_entries)?;
+                        records_moved +=
+                            self.fix_placement_after_slice(table_id, &report.moved_leaf_entries)?;
                         ops_done += 1;
                     }
                 }

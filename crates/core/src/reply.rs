@@ -1,0 +1,331 @@
+//! Pooled one-shot reply rendezvous for the worker request/reply cycle.
+//!
+//! Before PR 5 every action allocated a fresh `bounded(1)` channel (an `Arc`,
+//! a mutex and a `VecDeque`) just to carry one reply back to the
+//! coordinator.  A [`ReplySlot`] replaces that: a reusable single-value
+//! rendezvous the coordinator keeps in a per-session pool, so the steady
+//! state of the hot path allocates nothing — dispatching an action clones an
+//! `Arc` already in the pool and every other step is an atomic on memory
+//! that already exists.
+//!
+//! # Protocol
+//!
+//! The slot's `state` word packs a *round* counter with a *phase*:
+//!
+//! ```text
+//! EMPTY ──promise()──▶ PENDING ──fulfill()──▶ READY ──wait()──▶ EMPTY (round+1 on next promise)
+//!                         │                                         ▲
+//!                         └──promise dropped──▶ CLOSED ──wait()─────┘
+//! ```
+//!
+//! `wait` spins briefly (the worker usually answers within the spin budget
+//! under load), then registers the thread in the `waiter` mailbox and parks.
+//! `fulfill`/`close` publish the phase with an `AcqRel` swap and unpark a
+//! registered waiter.
+//!
+//! # Why rounds?
+//!
+//! A fulfiller's unpark step races with slot reuse: the coordinator can
+//! consume the reply, return the slot to the pool and dispatch a *new*
+//! action through it while the worker is still between its state swap and
+//! its mailbox check.  Tagging both the state word and the mailbox entry
+//! with the round makes that stale fulfiller harmless — it only takes a
+//! mailbox entry of its own round, so it can never steal the next round's
+//! registration, and a stray `unpark` at worst makes one future `park`
+//! return early (all park loops re-check state).
+//!
+//! # Memory ordering
+//!
+//! The value cell is written before the `AcqRel` swap to `READY` and read
+//! after an `Acquire` load observes `READY`, so the write happens-before the
+//! read.  Exactly one promise exists per round (enforced by ownership:
+//! `fulfill` consumes the promise), so the cell is never written twice.  The
+//! mailbox is a tiny mutex, touched only on the park path.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
+
+use parking_lot::Mutex;
+
+const PHASE_MASK: u64 = 0b11;
+const EMPTY: u64 = 0;
+const PENDING: u64 = 1;
+const READY: u64 = 2;
+const CLOSED: u64 = 3;
+const ROUND_SHIFT: u32 = 2;
+
+/// The promise side was dropped without a reply (the worker is gone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyClosed;
+
+impl std::fmt::Display for ReplyClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("reply promise dropped without fulfilling")
+    }
+}
+
+impl std::error::Error for ReplyClosed {}
+
+/// Whether this host exposes a single hardware thread (spinning for another
+/// thread's progress is then pointless).
+fn single_cpu() -> bool {
+    use std::sync::OnceLock;
+    static SINGLE: OnceLock<bool> = OnceLock::new();
+    *SINGLE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get() == 1)
+            .unwrap_or(false)
+    })
+}
+
+struct Inner<T> {
+    /// `round << 2 | phase`.
+    state: AtomicU64,
+    value: UnsafeCell<Option<T>>,
+    /// Park mailbox: the waiting thread, tagged with its round.
+    waiter: Mutex<Option<(u64, Thread)>>,
+}
+
+// The value cell is handed off with Release/Acquire through `state`; see the
+// module docs.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+/// Coordinator-side handle: owns the slot across rounds.  One outstanding
+/// [`ReplyPromise`] at a time; reusable after every [`ReplySlot::wait`].
+pub struct ReplySlot<T> {
+    inner: Arc<Inner<T>>,
+    round: u64,
+}
+
+/// Fulfilling side of one round, shipped to the worker inside the request.
+/// Dropping it unfulfilled closes the round (the waiter sees
+/// [`ReplyClosed`]).
+pub struct ReplyPromise<T> {
+    inner: Arc<Inner<T>>,
+    round: u64,
+    completed: bool,
+}
+
+impl<T> Default for ReplySlot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ReplySlot<T> {
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                state: AtomicU64::new(EMPTY),
+                value: UnsafeCell::new(None),
+                waiter: Mutex::new(None),
+            }),
+            round: 0,
+        }
+    }
+
+    /// Open the next round and hand out its (single) promise.
+    ///
+    /// Panics if the previous round was not consumed by [`Self::wait`] —
+    /// that would mean two promises alive at once.
+    pub fn promise(&mut self) -> ReplyPromise<T> {
+        let state = self.inner.state.load(Ordering::Relaxed);
+        assert_eq!(
+            state & PHASE_MASK,
+            EMPTY,
+            "reply slot reused with a round still open"
+        );
+        self.round += 1;
+        self.inner
+            .state
+            .store(self.round << ROUND_SHIFT | PENDING, Ordering::Release);
+        ReplyPromise {
+            inner: self.inner.clone(),
+            round: self.round,
+            completed: false,
+        }
+    }
+
+    /// Whether the current round has completed (fulfilled or closed); never
+    /// blocks.  `false` when no round is open.
+    pub fn ready(&self) -> bool {
+        let phase = self.inner.state.load(Ordering::Acquire) & PHASE_MASK;
+        phase == READY || phase == CLOSED
+    }
+
+    /// Block until the current round's promise is fulfilled or dropped,
+    /// consume the round, and leave the slot ready for reuse.
+    pub fn wait(&mut self) -> Result<T, ReplyClosed> {
+        let ready = self.round << ROUND_SHIFT | READY;
+        let closed = self.round << ROUND_SHIFT | CLOSED;
+        let mut state = self.inner.state.load(Ordering::Acquire);
+        if state != ready && state != closed {
+            // Spin briefly: under load the worker answers within the budget.
+            // On a single-CPU host the worker cannot make progress while we
+            // spin, so skip straight to the park path.
+            let budget = if single_cpu() { 0u32 } else { 64 };
+            let mut spins = 0u32;
+            while spins < budget {
+                std::hint::spin_loop();
+                state = self.inner.state.load(Ordering::Acquire);
+                if state == ready || state == closed {
+                    break;
+                }
+                spins += 1;
+            }
+            if state != ready && state != closed {
+                // Register in the mailbox, re-check, then park.  The
+                // fulfiller swaps the state *before* checking the mailbox,
+                // so either it sees our registration or we see its phase.
+                {
+                    let mut mailbox = self.inner.waiter.lock();
+                    state = self.inner.state.load(Ordering::Acquire);
+                    if state != ready && state != closed {
+                        *mailbox = Some((self.round, std::thread::current()));
+                    }
+                }
+                loop {
+                    state = self.inner.state.load(Ordering::Acquire);
+                    if state == ready || state == closed {
+                        break;
+                    }
+                    std::thread::park();
+                }
+            }
+        }
+        let result = if state == ready {
+            // Release/Acquire through `state`: the fulfiller's value write
+            // happens-before this read.
+            Ok(unsafe { (*self.inner.value.get()).take() }.expect("READY slot carries a value"))
+        } else {
+            Err(ReplyClosed)
+        };
+        // Close the round; `promise` opens the next one.
+        self.inner
+            .state
+            .store(self.round << ROUND_SHIFT | EMPTY, Ordering::Release);
+        result
+    }
+}
+
+impl<T> ReplyPromise<T> {
+    /// Deliver the reply and wake the waiter (if it parked).
+    pub fn fulfill(mut self, value: T) {
+        // Sole writer for this round: the waiter reads only after observing
+        // READY, and the next round starts only after the waiter consumed.
+        unsafe {
+            *self.inner.value.get() = Some(value);
+        }
+        self.complete(READY);
+    }
+
+    fn complete(&mut self, phase: u64) {
+        self.completed = true;
+        self.inner
+            .state
+            .swap(self.round << ROUND_SHIFT | phase, Ordering::AcqRel);
+        // Wake the waiter of *this* round only; a newer round's registration
+        // belongs to a newer promise (see the module docs on rounds).
+        let mut mailbox = self.inner.waiter.lock();
+        if mailbox.as_ref().is_some_and(|(r, _)| *r == self.round) {
+            let (_, thread) = mailbox.take().expect("checked above");
+            drop(mailbox);
+            thread.unpark();
+        }
+    }
+}
+
+impl<T> Drop for ReplyPromise<T> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.complete(CLOSED);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for ReplySlot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplySlot")
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for ReplyPromise<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplyPromise")
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fulfill_before_wait() {
+        let mut slot = ReplySlot::new();
+        let p = slot.promise();
+        p.fulfill(7u32);
+        assert!(slot.ready());
+        assert_eq!(slot.wait(), Ok(7));
+        assert!(!slot.ready());
+    }
+
+    #[test]
+    fn wait_parks_until_fulfilled() {
+        let mut slot = ReplySlot::new();
+        let p = slot.promise();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            p.fulfill(99u64);
+        });
+        assert_eq!(slot.wait(), Ok(99));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_promise_closes_the_round() {
+        let mut slot = ReplySlot::<u32>::new();
+        let p = slot.promise();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            drop(p);
+        });
+        assert_eq!(slot.wait(), Err(ReplyClosed));
+        h.join().unwrap();
+        // The slot is reusable after a closed round.
+        let p = slot.promise();
+        p.fulfill(1);
+        assert_eq!(slot.wait(), Ok(1));
+    }
+
+    #[test]
+    fn reuse_many_rounds_across_threads() {
+        let mut slot = ReplySlot::new();
+        for i in 0..10_000u64 {
+            let p = slot.promise();
+            if i % 2 == 0 {
+                let h = std::thread::spawn(move || p.fulfill(i));
+                assert_eq!(slot.wait(), Ok(i));
+                h.join().unwrap();
+            } else {
+                p.fulfill(i);
+                assert_eq!(slot.wait(), Ok(i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "round still open")]
+    fn double_promise_panics() {
+        let mut slot = ReplySlot::<u32>::new();
+        let _p1 = slot.promise();
+        let _p2 = slot.promise();
+    }
+}

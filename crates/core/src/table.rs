@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 
-use plp_btree::{BTree, InsertOutcome, MrbTree, PartitionId};
 use plp_btree::tree::BTreeError;
+use plp_btree::{BTree, InsertOutcome, MrbTree, PartitionId};
 use plp_storage::{Access, BufferPool, HeapFile, PageId, PlacementHint, PlacementPolicy, Rid};
 
 use crate::catalog::{IndexKind, TableSpec};
@@ -23,7 +23,12 @@ impl PrimaryIndex {
         }
     }
 
-    pub fn insert(&self, key: u64, value: u64, access: Access) -> Result<InsertOutcome, BTreeError> {
+    pub fn insert(
+        &self,
+        key: u64,
+        value: u64,
+        access: Access,
+    ) -> Result<InsertOutcome, BTreeError> {
         match self {
             PrimaryIndex::Single(t) => t.insert(key, value, access),
             PrimaryIndex::Multi(t) => t.insert(key, value, access),
@@ -51,7 +56,12 @@ impl PrimaryIndex {
         }
     }
 
-    pub fn range_scan(&self, lo: u64, hi: u64, access: Access) -> Result<Vec<(u64, u64)>, BTreeError> {
+    pub fn range_scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        access: Access,
+    ) -> Result<Vec<(u64, u64)>, BTreeError> {
         match self {
             PrimaryIndex::Single(t) => t.range_scan(lo, hi, access),
             PrimaryIndex::Multi(t) => t.range_scan(lo, hi, access),
@@ -197,14 +207,11 @@ impl Table {
         // callback ordering), then insert the record, then the index entry.
         let hint = self.placement_hint(key, access)?;
         let rid = self.heap.insert(record, hint, heap_access)?;
-        let outcome = self
-            .primary
-            .insert(key, rid.pack(), access)
-            .map_err(|e| {
-                // Undo the heap insert on duplicate key so the heap does not leak.
-                let _ = self.heap.delete(rid, hint, heap_access);
-                EngineError::from_btree(self.spec.id, e)
-            })?;
+        let outcome = self.primary.insert(key, rid.pack(), access).map_err(|e| {
+            // Undo the heap insert on duplicate key so the heap does not leak.
+            let _ = self.heap.delete(rid, hint, heap_access);
+            EngineError::from_btree(self.spec.id, e)
+        })?;
         // Leaf-owned placement: a leaf split (or landing on a different leaf
         // than predicted) invalidates placement of the records involved;
         // relocate them so the "one leaf owns each heap page" invariant holds.
@@ -214,7 +221,12 @@ impl Table {
             }
             if let PlacementHint::Leaf(predicted) = hint {
                 if outcome.leaf != predicted {
-                    self.relocate_records_to_leaf(&[(key, rid.pack())], outcome.leaf, access, heap_access)?;
+                    self.relocate_records_to_leaf(
+                        &[(key, rid.pack())],
+                        outcome.leaf,
+                        access,
+                        heap_access,
+                    )?;
                 }
             }
         }

@@ -8,6 +8,15 @@
 //! the *fixed-contention* communication that replaces centralized locking in
 //! the partitioned designs (Figure 1's "Message passing" component).
 //!
+//! The exchange is engineered as the hot path it is: the request queue is the
+//! channel shim's lock-free MPMC queue, and the reply leg is a pooled
+//! [`ReplySlot`] rendezvous (no per-action channel allocation — see
+//! [`crate::reply`]).  Control messages (clean, quiesce, shutdown) ride the
+//! same queue, so they stay FIFO-ordered with respect to the actions a
+//! coordinator enqueued before them — repartitioning relies on every action
+//! enqueued under the old boundaries draining before the worker parks at the
+//! quiesce message.
+//!
 //! Workers also handle system requests: page-cleaning batches for pages they
 //! own (Appendix A.4) and quiesce/resume handshakes used by repartitioning.
 
@@ -26,6 +35,7 @@ use crate::catalog::Design;
 use crate::ctx::PartitionCtx;
 use crate::database::Database;
 use crate::error::EngineError;
+use crate::reply::{ReplyPromise, ReplySlot};
 
 /// Reply sent back to the coordinator when an action finishes.
 pub struct ActionReply {
@@ -41,7 +51,7 @@ pub enum WorkerRequest {
     Action {
         txn_id: u64,
         run: ActionFn,
-        reply: Sender<ActionReply>,
+        reply: ReplyPromise<ActionReply>,
     },
     /// Clean the given (owned) pages — the PLP page-cleaning path.
     Clean { pages: Vec<PageId> },
@@ -81,25 +91,24 @@ impl WorkerHandle {
         }
     }
 
-    /// Send an action to this worker, returning the reply channel.
+    /// Send an action to this worker.  The reply arrives through `slot`
+    /// (opened for one round here); the coordinator waits on the slot at the
+    /// stage's rendezvous point and can then reuse it — the steady state
+    /// allocates nothing.
     pub fn send_action(
         &self,
         txn_id: u64,
         run: ActionFn,
+        slot: &mut ReplySlot<ActionReply>,
         stats: &plp_instrument::StatsRegistry,
-    ) -> Receiver<ActionReply> {
-        let (reply_tx, reply_rx) = bounded(1);
+    ) {
+        let reply = slot.promise();
         // The enqueue is the coordinator's half of the message-passing
         // critical section pair.
         stats.cs().enter(CsCategory::MessagePassing, false);
         self.sender
-            .send(WorkerRequest::Action {
-                txn_id,
-                run,
-                reply: reply_tx,
-            })
+            .send(WorkerRequest::Action { txn_id, run, reply })
             .expect("worker alive");
-        reply_rx
     }
 
     /// Route a page-cleaning batch to this worker.
@@ -158,7 +167,7 @@ fn worker_loop(db: Arc<Database>, design: Design, token: OwnerToken, rx: Receive
                 let log = ctx.take_log();
                 // The reply is the worker's half of the message-passing pair.
                 db.stats().cs().enter(CsCategory::MessagePassing, false);
-                let _ = reply.send(ActionReply { result, log });
+                reply.fulfill(ActionReply { result, log });
             }
             WorkerRequest::Clean { pages } => {
                 cleaner.clean_owned(token, &pages);

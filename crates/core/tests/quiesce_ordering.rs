@@ -1,0 +1,106 @@
+//! Regression tests for control-message ordering on the worker queue.
+//!
+//! Quiesce/resume rides the same queue as actions, so the repartitioning
+//! protocol depends on FIFO-per-sender: every action enqueued before the
+//! quiesce message must execute before the worker parks and acks.  The
+//! lock-free queue must preserve that — these tests pin it at the engine
+//! level (quiesce-while-queue-nonempty), including the park/resume cycle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use plp_core::action::ActionFn;
+use plp_core::reply::ReplySlot;
+use plp_core::worker::ActionReply;
+use plp_core::{ActionOutput, Design, Engine, EngineConfig, TableSpec};
+
+fn test_engine() -> Engine {
+    let schema = vec![TableSpec::new(0, "t", 4_096)];
+    Engine::start(
+        EngineConfig::new(Design::PlpRegular).with_partitions(2),
+        &schema,
+    )
+}
+
+#[test]
+fn quiesce_waits_for_all_earlier_actions() {
+    let engine = test_engine();
+    let pm = engine.partition_manager().expect("partitioned design");
+    let worker = pm.worker(0);
+    let stats = engine.db().stats().clone();
+
+    // Fill the queue with slow actions, then quiesce from the same sender.
+    let executed = Arc::new(AtomicU64::new(0));
+    let n = 16u64;
+    let mut slots: Vec<ReplySlot<ActionReply>> = Vec::new();
+    for _ in 0..n {
+        let executed = executed.clone();
+        let run: ActionFn = Box::new(move |_ctx| {
+            std::thread::sleep(Duration::from_millis(2));
+            executed.fetch_add(1, Ordering::SeqCst);
+            Ok(ActionOutput::empty())
+        });
+        let mut slot = ReplySlot::new();
+        worker.send_action(1, run, &mut slot, &stats);
+        slots.push(slot);
+    }
+
+    // FIFO per sender: by the time the quiesce ack comes back, every action
+    // enqueued before it has fully executed and replied.
+    let resume = worker.quiesce();
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        n,
+        "quiesce overtook queued actions"
+    );
+    for slot in &slots {
+        assert!(slot.ready(), "action reply missing at quiesce ack");
+    }
+    for mut slot in slots {
+        slot.wait().expect("reply").result.expect("action ok");
+    }
+
+    // While quiesced, the worker must not execute newly enqueued actions.
+    let late = Arc::new(AtomicU64::new(0));
+    let late_count = late.clone();
+    let run: ActionFn = Box::new(move |_ctx| {
+        late_count.fetch_add(1, Ordering::SeqCst);
+        Ok(ActionOutput::empty())
+    });
+    let mut late_slot = ReplySlot::new();
+    worker.send_action(2, run, &mut late_slot, &stats);
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(late.load(Ordering::SeqCst), 0, "worker ran while quiesced");
+    assert!(!late_slot.ready());
+
+    // Resume: the parked worker drains the queue again.
+    resume.send(()).expect("worker parked on resume");
+    late_slot.wait().expect("reply").result.expect("action ok");
+    assert_eq!(late.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn quiesce_resume_cycles_with_interleaved_actions() {
+    let engine = test_engine();
+    let pm = engine.partition_manager().expect("partitioned design");
+    let worker = pm.worker(1);
+    let stats = engine.db().stats().clone();
+    let mut slot = ReplySlot::new();
+
+    for round in 0..20u64 {
+        let run: ActionFn = Box::new(move |_ctx| Ok(ActionOutput::with_values(vec![round])));
+        worker.send_action(round, run, &mut slot, &stats);
+        let resume = worker.quiesce();
+        // The action enqueued before the quiesce is already answered.
+        assert!(slot.ready(), "round {round}: reply missing at quiesce ack");
+        let reply = slot.wait().expect("reply").result.expect("action ok");
+        assert_eq!(reply.values, vec![round]);
+        drop(resume); // dropping the resume sender also resumes the worker
+    }
+
+    // The worker is alive and serving after 20 park/resume cycles.
+    let run: ActionFn = Box::new(|_ctx| Ok(ActionOutput::empty()));
+    worker.send_action(99, run, &mut slot, &stats);
+    slot.wait().expect("reply").result.expect("action ok");
+}

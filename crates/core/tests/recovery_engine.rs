@@ -49,7 +49,9 @@ fn read_key(engine: &Engine, key: u64) -> Option<Vec<u8>> {
             },
         )))
         .expect("recovered engine must serve reads");
-    out.into_iter().next().and_then(|o| o.rows.into_iter().next())
+    out.into_iter()
+        .next()
+        .and_then(|o| o.rows.into_iter().next())
 }
 
 /// Run a deterministic mix of inserts, updates and deletes; return the
@@ -130,7 +132,10 @@ fn build_loaded_engine(design: Design, dir: &PathBuf) -> Engine {
     for k in 0..64u64 {
         let mut v = k.to_le_bytes().to_vec();
         v.resize(16, 0xAB);
-        engine.db().load_record(TABLE, k, &v, Some(100_000 + k)).unwrap();
+        engine
+            .db()
+            .load_record(TABLE, k, &v, Some(100_000 + k))
+            .unwrap();
     }
     engine.finish_loading();
     engine
@@ -231,7 +236,10 @@ fn background_checkpointer_cuts_fuzzy_checkpoints_that_seed_recovery() {
     // Let the background thread cut at least one checkpoint over live state.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while engine.db().stats().wal().snapshot().checkpoints == 0 {
-        assert!(std::time::Instant::now() < deadline, "checkpointer never ran");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "checkpointer never ran"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     drop(engine);
@@ -256,7 +264,10 @@ fn clean_shutdown_writes_final_checkpoint() {
     engine.shutdown();
     drop(engine);
     let scan = plp_wal::scan_log(&dir).unwrap();
-    assert!(scan.checkpoint.is_some(), "shutdown cuts a final checkpoint");
+    assert!(
+        scan.checkpoint.is_some(),
+        "shutdown cuts a final checkpoint"
+    );
     let (recovered, _) =
         Engine::recover(&dir, config(Design::PlpRegular, &dir), &schema()).unwrap();
     recovered.finish_loading();

@@ -64,7 +64,9 @@ fn read_transaction(engine: &Engine, table: TableId, key: u64) -> Option<Vec<u8>
             },
         )))
         .expect("engine must keep serving");
-    out.into_iter().next().and_then(|o| o.rows.into_iter().next())
+    out.into_iter()
+        .next()
+        .and_then(|o| o.rows.into_iter().next())
 }
 
 #[test]
@@ -170,8 +172,14 @@ fn unaligned_table_is_left_alone() {
     );
     for k in 0..keys {
         engine.db().load_record(ROOT, k, b"r", None).unwrap();
-        engine.db().load_record(TableId(1), k * 4, b"d", None).unwrap();
-        engine.db().load_record(TableId(2), k * 4, b"i", None).unwrap();
+        engine
+            .db()
+            .load_record(TableId(1), k * 4, b"d", None)
+            .unwrap();
+        engine
+            .db()
+            .load_record(TableId(2), k * 4, b"i", None)
+            .unwrap();
     }
     engine.finish_loading();
     let pm = engine.partition_manager().unwrap();
@@ -179,7 +187,11 @@ fn unaligned_table_is_left_alone() {
 
     engine.repartition(ROOT, &[0, 32]).unwrap();
     assert_eq!(pm.bounds(ROOT), vec![0, 32]);
-    assert_eq!(pm.bounds(TableId(1)), vec![0, 128], "declared sibling follows");
+    assert_eq!(
+        pm.bounds(TableId(1)),
+        vec![0, 128],
+        "declared sibling follows"
+    );
     assert_eq!(
         pm.bounds(TableId(2)),
         independent_before,
@@ -243,7 +255,10 @@ fn mid_table_failure_on_driver_restores_partial_table() {
         // to restore.
         pm.inject_repartition_failure_mid_table(0, 1);
         let err = engine.repartition(ROOT, &[0, 64]);
-        assert!(err.is_err(), "{design}: injected mid-table failure must surface");
+        assert!(
+            err.is_err(),
+            "{design}: injected mid-table failure must surface"
+        );
 
         assert_eq!(
             all_bounds(&engine),
@@ -291,8 +306,14 @@ fn mid_table_failure_on_sibling_restores_whole_group() {
         );
         for k in [0u64, 63, 64, 300, 511] {
             assert!(read_transaction(&engine, ROOT, k).is_some(), "{design}");
-            assert!(read_transaction(&engine, SIBLING_A, k * 4).is_some(), "{design}");
-            assert!(read_transaction(&engine, SIBLING_B, k * 8).is_some(), "{design}");
+            assert!(
+                read_transaction(&engine, SIBLING_A, k * 4).is_some(),
+                "{design}"
+            );
+            assert!(
+                read_transaction(&engine, SIBLING_B, k * 8).is_some(),
+                "{design}"
+            );
         }
     }
 }
@@ -347,7 +368,8 @@ fn repartition_drains_inflight_multistage_transactions() {
             for round in 0..6 {
                 std::thread::sleep(std::time::Duration::from_millis(10));
                 let cut = if round % 2 == 0 { 64 } else { 256 };
-                eng.repartition(ROOT, &[0, cut]).expect("repartition succeeds");
+                eng.repartition(ROOT, &[0, cut])
+                    .expect("repartition succeeds");
             }
             stop.store(true, Ordering::Relaxed);
         });

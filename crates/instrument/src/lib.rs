@@ -31,9 +31,9 @@ pub mod timer;
 pub use breakdown::{BreakdownSnapshot, TimeBreakdown, TimeBucket};
 pub use report::{format_table, Cell, Table};
 pub use stats::{
-    ContentionClass, CsCategory, CsStats, CsStatsSnapshot, DlbStats, DlbStatsSnapshot,
-    LatchStats, LatchStatsSnapshot, PageKind, StatsRegistry, StatsSnapshot, WalStats,
-    WalStatsSnapshot,
+    ContentionClass, CsCategory, CsStats, CsStatsSnapshot, DlbStats, DlbStatsSnapshot, LatchStats,
+    LatchStatsSnapshot, MsgStats, MsgStatsSnapshot, PageKind, StatsRegistry, StatsSnapshot,
+    WalStats, WalStatsSnapshot,
 };
 pub use sync::{InstrumentedMutex, InstrumentedRwLock};
 pub use timer::ScopedTimer;

@@ -116,7 +116,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let cells: Vec<String> = row.iter().map(|c| c.render()).collect();
@@ -287,7 +291,10 @@ mod tests {
 
     #[test]
     fn json_string_literal_escapes_control_chars() {
-        assert_eq!(json_string_literal("a\nb\"c\\\u{1}"), "\"a\\nb\\\"c\\\\\\u0001\"");
+        assert_eq!(
+            json_string_literal("a\nb\"c\\\u{1}"),
+            "\"a\\nb\\\"c\\\\\\u0001\""
+        );
     }
 
     #[test]

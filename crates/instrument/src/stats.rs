@@ -514,9 +514,13 @@ impl DlbStatsSnapshot {
             repartitions_triggered: self
                 .repartitions_triggered
                 .saturating_sub(earlier.repartitions_triggered),
-            skipped_balanced: self.skipped_balanced.saturating_sub(earlier.skipped_balanced),
+            skipped_balanced: self
+                .skipped_balanced
+                .saturating_sub(earlier.skipped_balanced),
             skipped_cost: self.skipped_cost.saturating_sub(earlier.skipped_cost),
-            skipped_cooldown: self.skipped_cooldown.saturating_sub(earlier.skipped_cooldown),
+            skipped_cooldown: self
+                .skipped_cooldown
+                .saturating_sub(earlier.skipped_cooldown),
             repartitions_failed: self
                 .repartitions_failed
                 .saturating_sub(earlier.repartitions_failed),
@@ -644,6 +648,134 @@ impl WalStatsSnapshot {
     }
 }
 
+/// Message-passing cost counters for the worker request/reply hot path (the
+/// paper's Figure 1 "Message passing" component, now measured in time as
+/// well as in counts).
+///
+/// The round-trip and reply-pool counters are recorded by the coordinator in
+/// `plp-core`; the queue counters (spins, parks, wakeups) are slow-path
+/// counters folded in from the channel shim by
+/// `Database::sync_channel_metrics`.
+#[derive(Debug, Default)]
+pub struct MsgStats {
+    /// Action round trips measured (dispatch → reply consumed).
+    actions: AtomicU64,
+    /// Total coordinator-observed round-trip time.
+    roundtrip_nanos: AtomicU64,
+    /// Reply rendezvous taken from the session pool (steady state).
+    reply_reuses: AtomicU64,
+    /// Reply rendezvous freshly allocated (pool warm-up).
+    reply_allocs: AtomicU64,
+    /// Producer-side queue retry rounds (failed CAS / full-queue spins).
+    enqueue_spins: AtomicU64,
+    /// Consumer-side queue retry rounds.
+    dequeue_spins: AtomicU64,
+    /// Threads that exhausted the spin budget and blocked.
+    parks: AtomicU64,
+    /// Wakeups actually issued (skipped when no one sleeps).
+    wakeups: AtomicU64,
+}
+
+impl MsgStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one action round trip.
+    #[inline]
+    pub fn roundtrip(&self, nanos: u64) {
+        self.actions.fetch_add(1, Ordering::Relaxed);
+        self.roundtrip_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn reply_reused(&self) {
+        self.reply_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn reply_allocated(&self) {
+        self.reply_allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold in a delta of the channel layer's slow-path counters.
+    pub fn queue_activity(&self, enqueue_spins: u64, dequeue_spins: u64, parks: u64, wakeups: u64) {
+        self.enqueue_spins
+            .fetch_add(enqueue_spins, Ordering::Relaxed);
+        self.dequeue_spins
+            .fetch_add(dequeue_spins, Ordering::Relaxed);
+        self.parks.fetch_add(parks, Ordering::Relaxed);
+        self.wakeups.fetch_add(wakeups, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MsgStatsSnapshot {
+        MsgStatsSnapshot {
+            actions: self.actions.load(Ordering::Relaxed),
+            roundtrip_nanos: self.roundtrip_nanos.load(Ordering::Relaxed),
+            reply_reuses: self.reply_reuses.load(Ordering::Relaxed),
+            reply_allocs: self.reply_allocs.load(Ordering::Relaxed),
+            enqueue_spins: self.enqueue_spins.load(Ordering::Relaxed),
+            dequeue_spins: self.dequeue_spins.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.actions.store(0, Ordering::Relaxed);
+        self.roundtrip_nanos.store(0, Ordering::Relaxed);
+        self.reply_reuses.store(0, Ordering::Relaxed);
+        self.reply_allocs.store(0, Ordering::Relaxed);
+        self.enqueue_spins.store(0, Ordering::Relaxed);
+        self.dequeue_spins.store(0, Ordering::Relaxed);
+        self.parks.store(0, Ordering::Relaxed);
+        self.wakeups.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of [`MsgStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MsgStatsSnapshot {
+    pub actions: u64,
+    pub roundtrip_nanos: u64,
+    pub reply_reuses: u64,
+    pub reply_allocs: u64,
+    pub enqueue_spins: u64,
+    pub dequeue_spins: u64,
+    pub parks: u64,
+    pub wakeups: u64,
+}
+
+impl MsgStatsSnapshot {
+    /// Mean coordinator-observed round-trip time per action.
+    pub fn mean_roundtrip_nanos(&self) -> f64 {
+        self.roundtrip_nanos as f64 / self.actions.max(1) as f64
+    }
+
+    /// Fraction of dispatches served from the reply pool (steady state → 1).
+    pub fn reply_pool_hit_rate(&self) -> f64 {
+        let total = self.reply_reuses + self.reply_allocs;
+        if total == 0 {
+            return 0.0;
+        }
+        self.reply_reuses as f64 / total as f64
+    }
+
+    /// Counter difference (`self - earlier`); all fields are cumulative.
+    pub fn delta(&self, earlier: &MsgStatsSnapshot) -> MsgStatsSnapshot {
+        MsgStatsSnapshot {
+            actions: self.actions.saturating_sub(earlier.actions),
+            roundtrip_nanos: self.roundtrip_nanos.saturating_sub(earlier.roundtrip_nanos),
+            reply_reuses: self.reply_reuses.saturating_sub(earlier.reply_reuses),
+            reply_allocs: self.reply_allocs.saturating_sub(earlier.reply_allocs),
+            enqueue_spins: self.enqueue_spins.saturating_sub(earlier.enqueue_spins),
+            dequeue_spins: self.dequeue_spins.saturating_sub(earlier.dequeue_spins),
+            parks: self.parks.saturating_sub(earlier.parks),
+            wakeups: self.wakeups.saturating_sub(earlier.wakeups),
+        }
+    }
+}
+
 /// Shared registry of all instrumentation counters for one engine instance.
 ///
 /// Cloning the `Arc<StatsRegistry>` is how every component gains access; the
@@ -654,6 +786,7 @@ pub struct StatsRegistry {
     latches: LatchStats,
     dlb: DlbStats,
     wal: WalStats,
+    msg: MsgStats,
     committed_txns: AtomicU64,
     aborted_txns: AtomicU64,
     /// Structure-modification operations performed (page splits, slices, melds).
@@ -686,6 +819,10 @@ impl StatsRegistry {
 
     pub fn wal(&self) -> &WalStats {
         &self.wal
+    }
+
+    pub fn msg(&self) -> &MsgStats {
+        &self.msg
     }
 
     #[inline]
@@ -730,6 +867,7 @@ impl StatsRegistry {
             latches: self.latches.snapshot(),
             dlb: self.dlb.snapshot(),
             wal: self.wal.snapshot(),
+            msg: self.msg.snapshot(),
             committed: self.committed(),
             aborted: self.aborted(),
             smo_count: self.smo_count(),
@@ -742,6 +880,7 @@ impl StatsRegistry {
         self.latches.reset();
         self.dlb.reset();
         self.wal.reset();
+        self.msg.reset();
         self.committed_txns.store(0, Ordering::Relaxed);
         self.aborted_txns.store(0, Ordering::Relaxed);
         self.smo_count.store(0, Ordering::Relaxed);
@@ -756,6 +895,7 @@ pub struct StatsSnapshot {
     pub latches: LatchStatsSnapshot,
     pub dlb: DlbStatsSnapshot,
     pub wal: WalStatsSnapshot,
+    pub msg: MsgStatsSnapshot,
     pub committed: u64,
     pub aborted: u64,
     pub smo_count: u64,
@@ -769,6 +909,7 @@ impl StatsSnapshot {
             latches: self.latches.delta(&earlier.latches),
             dlb: self.dlb.delta(&earlier.dlb),
             wal: self.wal.delta(&earlier.wal),
+            msg: self.msg.delta(&earlier.msg),
             committed: self.committed.saturating_sub(earlier.committed),
             aborted: self.aborted.saturating_sub(earlier.aborted),
             smo_count: self.smo_count.saturating_sub(earlier.smo_count),
@@ -795,7 +936,10 @@ mod tests {
             CsCategory::LogMgr.contention_class(),
             ContentionClass::Composable
         );
-        assert_eq!(CsCategory::XctMgr.contention_class(), ContentionClass::Fixed);
+        assert_eq!(
+            CsCategory::XctMgr.contention_class(),
+            ContentionClass::Fixed
+        );
         assert_eq!(
             CsCategory::MessagePassing.contention_class(),
             ContentionClass::Fixed
@@ -935,6 +1079,46 @@ mod tests {
         assert_eq!(w.snapshot().recovered_records, 0);
         // Empty stats report a 0 batch size, not NaN.
         assert_eq!(WalStats::new().snapshot().mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn msg_stats_roundtrips_pool_and_queue_activity() {
+        let m = MsgStats::new();
+        m.roundtrip(1_000);
+        m.roundtrip(3_000);
+        m.reply_reused();
+        m.reply_reused();
+        m.reply_reused();
+        m.reply_allocated();
+        m.queue_activity(5, 7, 2, 1);
+        let a = m.snapshot();
+        assert_eq!(a.actions, 2);
+        assert!((a.mean_roundtrip_nanos() - 2_000.0).abs() < f64::EPSILON);
+        assert!((a.reply_pool_hit_rate() - 0.75).abs() < f64::EPSILON);
+        assert_eq!(a.enqueue_spins, 5);
+        assert_eq!(a.dequeue_spins, 7);
+        assert_eq!(a.parks, 2);
+        assert_eq!(a.wakeups, 1);
+        m.roundtrip(500);
+        let b = m.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.actions, 1);
+        assert_eq!(d.roundtrip_nanos, 500);
+        assert_eq!(d.enqueue_spins, 0);
+        m.reset();
+        assert_eq!(m.snapshot().actions, 0);
+        // Empty stats report 0, not NaN.
+        assert_eq!(MsgStats::new().snapshot().mean_roundtrip_nanos(), 0.0);
+        assert_eq!(MsgStats::new().snapshot().reply_pool_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn registry_snapshot_includes_msg() {
+        let r = StatsRegistry::new();
+        r.msg().roundtrip(10);
+        assert_eq!(r.snapshot().msg.actions, 1);
+        r.reset();
+        assert_eq!(r.snapshot().msg.actions, 0);
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub enum LocalLockOutcome {
     AlreadyHeld,
     /// A different transaction holds an incompatible mode; the action must
     /// wait until that transaction finishes.
-    Conflict { holder: u64 },
+    Conflict {
+        holder: u64,
+    },
 }
 
 /// A lock table private to one partition worker.  No interior synchronization

@@ -286,7 +286,9 @@ mod tests {
     fn conflicting_lock_times_out() {
         let m = mgr();
         m.acquire(1, LockId::Key(1, 5), LockMode::X, None).unwrap();
-        let err = m.acquire(2, LockId::Key(1, 5), LockMode::X, None).unwrap_err();
+        let err = m
+            .acquire(2, LockId::Key(1, 5), LockMode::X, None)
+            .unwrap_err();
         assert!(matches!(err, LockError::Timeout { .. }));
     }
 

@@ -101,7 +101,8 @@ impl AgentLockCache {
                 self.misses += 1;
                 manager.acquire(self.agent_txn_id, id, mode, breakdown)?;
                 let prev = self.inherited.get(&id).copied();
-                self.inherited.insert(id, prev.map_or(mode, |p| p.combine(mode)));
+                self.inherited
+                    .insert(id, prev.map_or(mode, |p| p.combine(mode)));
             } else {
                 self.hits += 1;
             }
@@ -113,7 +114,9 @@ impl AgentLockCache {
     }
 
     fn covered(&self, id: LockId, mode: LockMode) -> bool {
-        self.inherited.get(&id).is_some_and(|held| held.covers(mode))
+        self.inherited
+            .get(&id)
+            .is_some_and(|held| held.covers(mode))
     }
 
     /// Number of locks currently inherited by the agent.
@@ -162,7 +165,11 @@ mod tests {
         assert_eq!(rel2, vec![LockId::Key(1, 11)]);
         let after_second = stats.snapshot().cs.entries(CsCategory::LockMgr);
         // +1 release CS (release_all groups into one shard visit) +1 key acquire.
-        assert!(after_second - after_first <= 2, "delta = {}", after_second - after_first);
+        assert!(
+            after_second - after_first <= 2,
+            "delta = {}",
+            after_second - after_first
+        );
         assert!(cache.hits() >= 2);
         assert_eq!(cache.inherited_count(), 2);
     }

@@ -163,10 +163,16 @@ mod tests {
 
         // The owner cleans its page latch-free.
         let before = pool.stats().snapshot();
-        assert_eq!(cleaner.clean_owned(OwnerToken(9), &requests[&OwnerToken(9)]), 1);
+        assert_eq!(
+            cleaner.clean_owned(OwnerToken(9), &requests[&OwnerToken(9)]),
+            1
+        );
         let after = pool.stats().snapshot();
         assert_eq!(
-            after.latches.delta(&before.latches).acquired(PageKind::Heap),
+            after
+                .latches
+                .delta(&before.latches)
+                .acquired(PageKind::Heap),
             0
         );
         assert!(!owned.is_dirty());

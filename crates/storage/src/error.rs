@@ -13,7 +13,11 @@ pub enum StorageError {
     /// A record slot does not exist or has been deleted.
     RecordNotFound(Rid),
     /// The page does not have enough contiguous free space for the record.
-    PageFull { page: PageId, needed: usize, free: usize },
+    PageFull {
+        page: PageId,
+        needed: usize,
+        free: usize,
+    },
     /// The record is larger than can ever fit in a page.
     RecordTooLarge { size: usize, max: usize },
     /// A latch-free (owner) access was attempted by a thread that does not own

@@ -138,12 +138,7 @@ impl HeapFile {
     ///
     /// `access` selects latched vs latch-free page access; the hint must match
     /// the file's placement policy.
-    pub fn insert(
-        &self,
-        record: &[u8],
-        hint: PlacementHint,
-        access: Access,
-    ) -> StorageResult<Rid> {
+    pub fn insert(&self, record: &[u8], hint: PlacementHint, access: Access) -> StorageResult<Rid> {
         if record.len() > MAX_RECORD_SIZE {
             return Err(StorageError::RecordTooLarge {
                 size: record.len(),
@@ -195,7 +190,8 @@ impl HeapFile {
         f: impl FnOnce(&mut [u8]),
     ) -> StorageResult<()> {
         let frame = self.pool.get(rid.page)?;
-        let ok = frame.with_write_access(access, |page| SlottedPage::update_with(page, rid.slot, f));
+        let ok =
+            frame.with_write_access(access, |page| SlottedPage::update_with(page, rid.slot, f));
         if ok {
             Ok(())
         } else {
@@ -206,7 +202,8 @@ impl HeapFile {
     /// Overwrite a record (same size only).
     pub fn update(&self, rid: Rid, record: &[u8], access: Access) -> StorageResult<()> {
         let frame = self.pool.get(rid.page)?;
-        let ok = frame.with_write_access(access, |page| SlottedPage::update(page, rid.slot, record));
+        let ok =
+            frame.with_write_access(access, |page| SlottedPage::update(page, rid.slot, record));
         if ok {
             Ok(())
         } else {
@@ -332,7 +329,8 @@ mod tests {
         assert_eq!(h.get(rid, Access::Latched).unwrap(), b"record-1");
         h.update(rid, b"record-2", Access::Latched).unwrap();
         assert_eq!(h.get(rid, Access::Latched).unwrap(), b"record-2");
-        h.update_with(rid, Access::Latched, |r| r[0] = b'X').unwrap();
+        h.update_with(rid, Access::Latched, |r| r[0] = b'X')
+            .unwrap();
         assert_eq!(h.get(rid, Access::Latched).unwrap()[0], b'X');
         h.delete(rid, PlacementHint::None, Access::Latched).unwrap();
         assert!(h.get(rid, Access::Latched).is_err());
@@ -346,7 +344,9 @@ mod tests {
             .insert(b"x", PlacementHint::Partition(1), Access::Latched)
             .is_err());
         let h = heap(PlacementPolicy::PartitionOwned);
-        assert!(h.insert(b"x", PlacementHint::None, Access::Latched).is_err());
+        assert!(h
+            .insert(b"x", PlacementHint::None, Access::Latched)
+            .is_err());
         let h = heap(PlacementPolicy::LeafOwned);
         assert!(h
             .insert(b"x", PlacementHint::Partition(2), Access::Latched)
@@ -358,7 +358,8 @@ mod tests {
         let h = heap(PlacementPolicy::Regular);
         let rec = vec![9u8; 2000];
         for _ in 0..20 {
-            h.insert(&rec, PlacementHint::None, Access::Latched).unwrap();
+            h.insert(&rec, PlacementHint::None, Access::Latched)
+                .unwrap();
         }
         // 2000-byte records, ~4 per page -> at least 5 pages.
         assert!(h.page_count() >= 5, "pages = {}", h.page_count());
@@ -417,7 +418,10 @@ mod tests {
         let mut rids = Vec::new();
         for i in 0..50u32 {
             let rec = i.to_le_bytes();
-            rids.push(h.insert(&rec, PlacementHint::None, Access::Latched).unwrap());
+            rids.push(
+                h.insert(&rec, PlacementHint::None, Access::Latched)
+                    .unwrap(),
+            );
         }
         h.delete(rids[10], PlacementHint::None, Access::Latched)
             .unwrap();
@@ -446,10 +450,14 @@ mod tests {
     fn deleted_space_is_reused() {
         let h = heap(PlacementPolicy::Regular);
         let rec = vec![3u8; 500];
-        let rid = h.insert(&rec, PlacementHint::None, Access::Latched).unwrap();
+        let rid = h
+            .insert(&rec, PlacementHint::None, Access::Latched)
+            .unwrap();
         let pages_before = h.page_count();
         h.delete(rid, PlacementHint::None, Access::Latched).unwrap();
-        let rid2 = h.insert(&rec, PlacementHint::None, Access::Latched).unwrap();
+        let rid2 = h
+            .insert(&rec, PlacementHint::None, Access::Latched)
+            .unwrap();
         assert_eq!(rid2.page, rid.page);
         assert_eq!(h.page_count(), pages_before);
     }
@@ -459,7 +467,8 @@ mod tests {
         let h = heap(PlacementPolicy::Regular);
         let rec = vec![7u8; 3000];
         for _ in 0..6 {
-            h.insert(&rec, PlacementHint::None, Access::Latched).unwrap();
+            h.insert(&rec, PlacementHint::None, Access::Latched)
+                .unwrap();
         }
         let pages = h.page_ids();
         assert!(pages.len() >= 3);

@@ -23,8 +23,8 @@ use plp_instrument::StatsRegistry;
 
 use crate::record::{LogRecord, Lsn};
 use crate::segment::{
-    decode_record, decode_segment_header, encode_record, encode_segment_header,
-    segment_file_name, DecodeError, DEFAULT_SEGMENT_BYTES, SEGMENT_HEADER_BYTES,
+    decode_record, decode_segment_header, encode_record, encode_segment_header, segment_file_name,
+    DecodeError, DEFAULT_SEGMENT_BYTES, SEGMENT_HEADER_BYTES,
 };
 
 /// One on-disk segment discovered by [`list_segments`].
@@ -396,8 +396,7 @@ mod tests {
         assert_eq!(tail, lsn);
         // Keep appending until a roll lands on the orphan's base LSN; all
         // records must still be recoverable afterwards.
-        let batch2: Vec<LogRecord> =
-            (4..12).map(|i| stamped(&mut lsn, i, vec![2; 30])).collect();
+        let batch2: Vec<LogRecord> = (4..12).map(|i| stamped(&mut lsn, i, vec![2; 30])).collect();
         dev2.append_batch(&batch2).unwrap();
         dev2.sync().unwrap();
         drop(dev2);

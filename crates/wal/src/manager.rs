@@ -73,7 +73,8 @@ impl TxnLogHandle {
     /// that only exercise log volume; real redo records go through
     /// [`Self::push_record`].
     pub fn log(&mut self, kind: LogRecordKind, page: u64, payload_len: u32) {
-        self.staged.push(LogRecord::new(self.txn_id, kind, page, payload_len));
+        self.staged
+            .push(LogRecord::new(self.txn_id, kind, page, payload_len));
         self.records_logged += 1;
     }
 
@@ -205,7 +206,10 @@ impl LogManager {
     /// straight to the shared buffer (one critical section); under the
     /// consolidated protocol it is staged in the handle.
     pub fn log(&self, handle: &mut TxnLogHandle, kind: LogRecordKind, page: u64, payload_len: u32) {
-        self.log_record(handle, LogRecord::new(handle.txn_id, kind, page, payload_len));
+        self.log_record(
+            handle,
+            LogRecord::new(handle.txn_id, kind, page, payload_len),
+        );
     }
 
     /// Record a fully-formed redo record (payload bytes captured at the

@@ -70,7 +70,11 @@ impl LogScan {
     /// wins).  Tables never repartitioned are absent.
     pub fn final_bounds(&self) -> Vec<(u32, Vec<u64>)> {
         let mut bounds: Vec<(u32, Vec<u64>)> = Vec::new();
-        let checkpoint_lsn = self.checkpoint.as_ref().map(|(l, _)| *l).unwrap_or(Lsn::ZERO);
+        let checkpoint_lsn = self
+            .checkpoint
+            .as_ref()
+            .map(|(l, _)| *l)
+            .unwrap_or(Lsn::ZERO);
         if let Some((_, data)) = &self.checkpoint {
             bounds = data.table_bounds.clone();
         }
@@ -113,8 +117,7 @@ pub fn scan_log(dir: impl AsRef<Path>) -> io::Result<LogScan> {
                 continue;
             }
         }
-        let (valid_bytes, next_lsn, clean) =
-            walk_segment(seg, |record| scan.records.push(record))?;
+        let (valid_bytes, next_lsn, clean) = walk_segment(seg, |record| scan.records.push(record))?;
         scan.torn_bytes += seg
             .file_len
             .saturating_sub(valid_bytes + crate::segment::SEGMENT_HEADER_BYTES as u64);
@@ -257,20 +260,18 @@ mod tests {
     fn scan_recovers_checkpoint_and_final_bounds() {
         let dir = temp_dir("checkpoint");
         let m = strict_manager(&dir);
-        m.log_system(
-            crate::record::LogRecord::with_payload(
-                0,
-                LogRecordKind::Repartition,
-                7,
-                0,
-                None,
-                RepartitionPayload {
-                    table: 7,
-                    bounds: vec![0, 10],
-                }
-                .encode(),
-            ),
-        );
+        m.log_system(crate::record::LogRecord::with_payload(
+            0,
+            LogRecordKind::Repartition,
+            7,
+            0,
+            None,
+            RepartitionPayload {
+                table: 7,
+                bounds: vec![0, 10],
+            }
+            .encode(),
+        ));
         let checkpoint = CheckpointData {
             active_txns: vec![],
             next_txn_id: 5,
@@ -280,20 +281,18 @@ mod tests {
         };
         m.write_checkpoint(checkpoint.clone());
         // Post-checkpoint repartition overrides the checkpoint's bounds.
-        m.log_system(
-            crate::record::LogRecord::with_payload(
-                0,
-                LogRecordKind::Repartition,
-                7,
-                0,
-                None,
-                RepartitionPayload {
-                    table: 7,
-                    bounds: vec![0, 42],
-                }
-                .encode(),
-            ),
-        );
+        m.log_system(crate::record::LogRecord::with_payload(
+            0,
+            LogRecordKind::Repartition,
+            7,
+            0,
+            None,
+            RepartitionPayload {
+                table: 7,
+                bounds: vec![0, 42],
+            }
+            .encode(),
+        ));
         m.flush_now();
         drop(m);
         let scan = scan_log(&dir).unwrap();

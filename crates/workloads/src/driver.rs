@@ -93,6 +93,9 @@ fn run_inner(
     let stop = AtomicBool::new(false);
     let committed = AtomicU64::new(0);
     let aborted = AtomicU64::new(0);
+    // Fold channel-layer slow-path counters into the registry on both sides
+    // of the run so the snapshot delta covers exactly this interval.
+    engine.db().sync_channel_metrics();
     let before = engine.db().stats().snapshot();
     let breakdown_before = engine.db().breakdown().snapshot();
     let start = Instant::now();
@@ -139,6 +142,7 @@ fn run_inner(
     });
 
     let elapsed = start.elapsed();
+    engine.db().sync_channel_metrics();
     let after = engine.db().stats().snapshot();
     let breakdown_after = engine.db().breakdown().snapshot();
     let _ = breakdown_before; // breakdown snapshots are cumulative; report the final one

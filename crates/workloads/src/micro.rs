@@ -17,8 +17,8 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::skew::{SkewKind, SkewedKeys};
 use crate::tatp::{
-    access_info_key, call_forwarding_key, special_facility_key, Tatp, ACCESS_INFO,
-    CALL_FORWARDING, SPECIAL_FACILITY, SUBSCRIBER,
+    access_info_key, call_forwarding_key, special_facility_key, Tatp, ACCESS_INFO, CALL_FORWARDING,
+    SPECIAL_FACILITY, SUBSCRIBER,
 };
 use crate::{fields, Workload};
 
@@ -275,7 +275,8 @@ impl Workload for SkewedProbe {
                 let mut out = ActionOutput::empty();
                 out.rows.extend(ctx.read(SUBSCRIBER, s_id)?);
                 for t in 0..4 {
-                    out.rows.extend(ctx.read(ACCESS_INFO, access_info_key(s_id, t))?);
+                    out.rows
+                        .extend(ctx.read(ACCESS_INFO, access_info_key(s_id, t))?);
                     out.rows
                         .extend(ctx.read(SPECIAL_FACILITY, special_facility_key(s_id, t))?);
                 }
@@ -316,20 +317,28 @@ mod tests {
 
     #[test]
     fn skewed_probe_follows_the_shifting_hotspot() {
-        let w = SkewedProbe::new(10_000, SkewKind::HotSpot {
-            fraction: 0.05,
-            probability: 0.9,
-        });
+        let w = SkewedProbe::new(
+            10_000,
+            SkewKind::HotSpot {
+                fraction: 0.05,
+                probability: 0.9,
+            },
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let routing_keys = |w: &SkewedProbe, rng: &mut ChaCha8Rng| -> Vec<u64> {
-            (0..500).map(|_| w.next_transaction(rng).actions[0].routing_key).collect()
+            (0..500)
+                .map(|_| w.next_transaction(rng).actions[0].routing_key)
+                .collect()
         };
         let before = routing_keys(&w, &mut rng);
         let hot_before = before.iter().filter(|&&k| k < 500).count();
         assert!(hot_before > 350, "hotspot at the front: {hot_before}");
         w.shift_to(8_000);
         let after = routing_keys(&w, &mut rng);
-        let hot_after = after.iter().filter(|&&k| (8_000..8_500).contains(&k)).count();
+        let hot_after = after
+            .iter()
+            .filter(|&&k| (8_000..8_500).contains(&k))
+            .count();
         assert!(hot_after > 350, "hotspot moved: {hot_after}");
     }
 

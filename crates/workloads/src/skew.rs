@@ -92,7 +92,13 @@ impl SkewedKeys {
     }
 
     pub fn hotspot(key_space: u64, fraction: f64, probability: f64) -> Self {
-        Self::new(key_space, SkewKind::HotSpot { fraction, probability })
+        Self::new(
+            key_space,
+            SkewKind::HotSpot {
+                fraction,
+                probability,
+            },
+        )
     }
 
     pub fn zipfian(key_space: u64, theta: f64) -> Self {
@@ -115,7 +121,8 @@ impl SkewedKeys {
     /// Move the hot range so it starts at `offset` (mod key space).  Safe to
     /// call while other threads are sampling — that is the whole point.
     pub fn shift_to(&self, offset: u64) {
-        self.offset.store(offset % self.key_space, Ordering::Release);
+        self.offset
+            .store(offset % self.key_space, Ordering::Release);
     }
 
     /// The key range `[start, end)` currently holding the distribution's
@@ -140,7 +147,10 @@ impl SkewedKeys {
     pub fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
         let base = match self.kind {
             SkewKind::Uniform => rng.gen_range(0..self.key_space),
-            SkewKind::HotSpot { fraction, probability } => {
+            SkewKind::HotSpot {
+                fraction,
+                probability,
+            } => {
                 if rng.gen_bool(probability.clamp(0.0, 1.0)) {
                     let hot = ((self.key_space as f64 * fraction) as u64).max(1);
                     rng.gen_range(0..hot)
@@ -219,7 +229,12 @@ mod tests {
         let keys = SkewedKeys::zipfian(10_000, 0.99);
         let h = histogram(&keys, 20_000, 100, 4);
         // The first percentile of keys should dominate any middle percentile.
-        assert!(h[0] > 5 * h[50].max(1), "zipf head {} vs mid {}", h[0], h[50]);
+        assert!(
+            h[0] > 5 * h[50].max(1),
+            "zipf head {} vs mid {}",
+            h[0],
+            h[50]
+        );
         let total_head: usize = h[..5].iter().sum();
         assert!(
             total_head > 20_000 / 4,

@@ -18,9 +18,7 @@
 //! writes (UpdateSubscriberData 2%, UpdateLocation 14%,
 //! Insert/DeleteCallForwarding 2% each).
 
-use plp_core::{
-    Action, ActionOutput, Database, EngineError, TableId, TableSpec, TransactionPlan,
-};
+use plp_core::{Action, ActionOutput, Database, EngineError, TableId, TableSpec, TransactionPlan};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -237,9 +235,7 @@ impl Tatp {
                     Ok(()) => Ok(ActionOutput::with_values(vec![1])),
                     // The TATP spec expects ~30% of inserts to fail on an
                     // existing row; that is a valid transaction outcome.
-                    Err(EngineError::DuplicateKey { .. }) => {
-                        Ok(ActionOutput::with_values(vec![0]))
-                    }
+                    Err(EngineError::DuplicateKey { .. }) => Ok(ActionOutput::with_values(vec![0])),
                     Err(e) => Err(e),
                 }
             }))
@@ -344,10 +340,16 @@ impl Workload for Tatp {
             45..=79 => self.get_access_data(s_id, rng.gen_range(0..4)),
             80..=81 => self.update_subscriber_data(s_id, rng.gen_range(0..4), rng.gen()),
             82..=95 => self.update_location(sub_nbr, rng.gen()),
-            96..=97 => {
-                self.insert_call_forwarding(sub_nbr, 0, *[0u64, 8, 16].get(rng.gen_range(0..3)).unwrap())
-            }
-            _ => self.delete_call_forwarding(sub_nbr, 0, *[0u64, 8, 16].get(rng.gen_range(0..3)).unwrap()),
+            96..=97 => self.insert_call_forwarding(
+                sub_nbr,
+                0,
+                *[0u64, 8, 16].get(rng.gen_range(0..3)).unwrap(),
+            ),
+            _ => self.delete_call_forwarding(
+                sub_nbr,
+                0,
+                *[0u64, 8, 16].get(rng.gen_range(0..3)).unwrap(),
+            ),
         }
     }
 }

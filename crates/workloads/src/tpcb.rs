@@ -73,10 +73,17 @@ impl TpcB {
     /// The TPC-B account-update transaction as a plan: three balance updates
     /// plus a history insert, decomposed per table (all actions route to the
     /// branch's partition).
-    pub fn account_update(&self, branch: u64, teller: u64, account: u64, delta: i64) -> TransactionPlan {
+    pub fn account_update(
+        &self,
+        branch: u64,
+        teller: u64,
+        account: u64,
+        delta: i64,
+    ) -> TransactionPlan {
         let t_key = teller_key(branch, teller);
         let a_key = account_key(branch, account);
-        let h_key = branch * HISTORY_SLOTS + (self.history_seq.fetch_add(1, Ordering::Relaxed) % HISTORY_SLOTS);
+        let h_key = branch * HISTORY_SLOTS
+            + (self.history_seq.fetch_add(1, Ordering::Relaxed) % HISTORY_SLOTS);
         TransactionPlan::parallel(vec![
             Action::new(ACCOUNT, a_key, move |ctx| {
                 let mut balance = 0;
@@ -172,7 +179,10 @@ mod tests {
         assert_eq!(part(3, branches), 3);
         assert_eq!(part(teller_key(3, 9), branches * TELLERS_PER_BRANCH), 3);
         assert_eq!(
-            part(account_key(3, ACCOUNTS_PER_BRANCH - 1), branches * ACCOUNTS_PER_BRANCH),
+            part(
+                account_key(3, ACCOUNTS_PER_BRANCH - 1),
+                branches * ACCOUNTS_PER_BRANCH
+            ),
             3
         );
     }

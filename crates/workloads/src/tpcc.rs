@@ -137,13 +137,20 @@ impl Tpcc {
                 let row = ctx
                     .read(ITEM, i)?
                     .ok_or_else(|| EngineError::Abort("missing item".into()))?;
-                Ok(ActionOutput::with_values(vec![fields::get_u64(&row, off::PRICE)]))
+                Ok(ActionOutput::with_values(vec![fields::get_u64(
+                    &row,
+                    off::PRICE,
+                )]))
             }));
         }
 
         let load_items = self.load_items;
         TransactionPlan::parallel(actions).followed_by(move |outputs| {
-            let prices: Vec<u64> = outputs.iter().skip(1).flat_map(|o| o.values.clone()).collect();
+            let prices: Vec<u64> = outputs
+                .iter()
+                .skip(1)
+                .flat_map(|o| o.values.clone())
+                .collect();
             // Stage 2: stock updates + order/order-line inserts.
             let mut actions = Vec::new();
             for (idx, &i) in item_keys.iter().enumerate() {
@@ -189,7 +196,9 @@ impl Tpcc {
         let c_key = customer_key(w, d, c % self.load_customers);
         TransactionPlan::parallel(vec![
             Action::new(WAREHOUSE, w, move |ctx| {
-                ctx.update(WAREHOUSE, w, &mut |r| fields::add_u64(r, off::YTD, amount as i64))?;
+                ctx.update(WAREHOUSE, w, &mut |r| {
+                    fields::add_u64(r, off::YTD, amount as i64)
+                })?;
                 Ok(ActionOutput::empty())
             }),
             Action::new(DISTRICT, d_key, move |ctx| {
@@ -237,9 +246,13 @@ impl Workload for Tpcc {
             TableSpec::new(1, "district", w * DISTRICTS_PER_WAREHOUSE)
                 .with_granularity(DISTRICTS_PER_WAREHOUSE)
                 .aligned_with(WAREHOUSE),
-            TableSpec::new(2, "customer", w * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT)
-                .with_granularity(DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT)
-                .aligned_with(WAREHOUSE),
+            TableSpec::new(
+                2,
+                "customer",
+                w * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT,
+            )
+            .with_granularity(DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT)
+            .aligned_with(WAREHOUSE),
             // `item` is routed by its own key space and deliberately declares
             // no alignment: it must never be co-repartitioned with the
             // warehouse group (the old ratio inference could not express
@@ -248,9 +261,13 @@ impl Workload for Tpcc {
             TableSpec::new(4, "stock", w * ITEMS)
                 .with_granularity(ITEMS)
                 .aligned_with(WAREHOUSE),
-            TableSpec::new(5, "orders", w * DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT)
-                .with_granularity(DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT)
-                .aligned_with(WAREHOUSE),
+            TableSpec::new(
+                5,
+                "orders",
+                w * DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT,
+            )
+            .with_granularity(DISTRICTS_PER_WAREHOUSE * ORDERS_PER_DISTRICT)
+            .aligned_with(WAREHOUSE),
             TableSpec::new(
                 6,
                 "order_line",

@@ -10,7 +10,12 @@ use plp_workloads::tpcb::TpcB;
 use plp_workloads::tpcc::Tpcc;
 use plp_workloads::Workload;
 
-fn run_design(design: Design, workload: &dyn Workload, threads: usize, txns: u64) -> plp_workloads::RunResult {
+fn run_design(
+    design: Design,
+    workload: &dyn Workload,
+    threads: usize,
+    txns: u64,
+) -> plp_workloads::RunResult {
     let config = EngineConfig::new(design)
         .with_partitions(threads)
         .with_fanout(64);

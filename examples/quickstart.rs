@@ -16,7 +16,10 @@ fn main() {
     let result = run_fixed(&engine, &tatp, 4, 500, 42);
     println!("design            : {}", result.design);
     println!("committed         : {}", result.committed);
-    println!("throughput        : {:.1} Ktps", result.throughput_tps() / 1e3);
+    println!(
+        "throughput        : {:.1} Ktps",
+        result.throughput_tps() / 1e3
+    );
     println!(
         "index latches/txn : {:.2} (bypassed latch-free: {})",
         result.latches_per_txn(PageKind::Index),

@@ -20,11 +20,17 @@ fn main() {
     let window = Duration::from_millis(500);
 
     let uniform = run_timed(&engine, &workload, 2, window, 1);
-    println!("uniform load        : {:.1} Ktps", uniform.throughput_tps() / 1e3);
+    println!(
+        "uniform load        : {:.1} Ktps",
+        uniform.throughput_tps() / 1e3
+    );
 
     workload.enable_hotspot();
     let skewed = run_timed(&engine, &workload, 2, window, 2);
-    println!("hot spot, unbalanced: {:.1} Ktps", skewed.throughput_tps() / 1e3);
+    println!(
+        "hot spot, unbalanced: {:.1} Ktps",
+        skewed.throughput_tps() / 1e3
+    );
 
     // Rebalance: worker 0 takes the hot 10% of the key space, worker 1 the rest.
     let moved = engine
@@ -33,7 +39,10 @@ fn main() {
     println!("repartitioned       : {moved} records moved");
 
     let rebalanced = run_timed(&engine, &workload, 2, window, 3);
-    println!("hot spot, rebalanced: {:.1} Ktps", rebalanced.throughput_tps() / 1e3);
+    println!(
+        "hot spot, rebalanced: {:.1} Ktps",
+        rebalanced.throughput_tps() / 1e3
+    );
     if let Some(pm) = engine.partition_manager() {
         println!("new bounds          : {:?}", pm.bounds(SUBSCRIBER));
     }

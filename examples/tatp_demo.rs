@@ -9,11 +9,20 @@ use plp_workloads::driver::{prepare_engine, run_fixed};
 use plp_workloads::tatp::Tatp;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
     let tatp = Tatp::new(5_000);
     let mut table = Table::new(
         format!("TATP mix, {threads} client threads"),
-        &["design", "Ktps", "aborts", "latches/txn", "contentious CS/txn"],
+        &[
+            "design",
+            "Ktps",
+            "aborts",
+            "latches/txn",
+            "contentious CS/txn",
+        ],
     );
     for design in Design::ALL {
         let config = EngineConfig::new(design).with_partitions(threads);

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Perf-regression gate: compare a fresh message-passing microbench run
+# against the committed baseline.  Thin wrapper so CI and developers invoke
+# the same logic (the real comparison lives in `plp-bench`'s `check_bench`
+# binary and is unit-tested there).
+#
+# usage: scripts/check_bench.sh [current.json] [baseline.json] [threshold]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+current="${1:-bench_msgcost.json}"
+baseline="${2:-BENCH_BASELINE.json}"
+threshold="${3:-0.30}"
+
+if [[ ! -f "$current" ]]; then
+  echo "check_bench.sh: $current not found — run:" >&2
+  echo "  cargo run --release -p plp-bench --bin fig_msgcost -- --json $current" >&2
+  exit 2
+fi
+
+exec cargo run --release -q -p plp-bench --bin check_bench -- \
+  "$current" "$baseline" "$threshold"

@@ -133,12 +133,7 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one(
-    config: &Criterion,
-    group: Option<&str>,
-    name: &str,
-    f: &mut dyn FnMut(&mut Bencher),
-) {
+fn run_one(config: &Criterion, group: Option<&str>, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         mode: Mode::WarmUp {
             until: Instant::now() + config.warm_up_time,

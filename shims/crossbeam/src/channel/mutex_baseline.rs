@@ -1,0 +1,192 @@
+//! The previous mutex+condvar channel, kept as a measurement baseline.
+//!
+//! This is the implementation the engine's worker hot path used before the
+//! lock-free queues landed: a mutex-guarded `VecDeque` with two condvars, so
+//! every send and every recv pays a lock acquisition (two when the channel
+//! toggles between empty and non-empty) plus a condvar wake.  The
+//! message-cost experiment (`fig_msgcost`) runs both implementations side by
+//! side to reproduce the paper's claim that message passing dominates the
+//! remaining per-action cost; the semantics test suite also runs against it
+//! as a correctness oracle.
+//!
+//! Audit note from the port: message arrival intentionally uses
+//! `notify_one` (one message can satisfy one waiter — both here and in the
+//! lock-free layer), while disconnects use `notify_all` on the opposite
+//! gate; every blocked peer must observe a hangup.  Both properties are
+//! pinned by `tests/mpmc_semantics.rs` for both implementations.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+pub use super::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: Option<usize>,
+}
+
+fn unpoison<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        unpoison(self.inner.state.lock()).senders += 1;
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        unpoison(self.inner.state.lock()).receivers += 1;
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = unpoison(self.inner.state.lock());
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake receivers blocked on an empty queue so they observe
+            // the disconnect.
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = unpoison(self.inner.state.lock());
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = unpoison(self.inner.state.lock());
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.inner.capacity {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = unpoison(self.inner.not_full.wait(st));
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = unpoison(self.inner.state.lock());
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = unpoison(self.inner.not_empty.wait(st));
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = unpoison(self.inner.state.lock());
+        if let Some(v) = st.queue.pop_front() {
+            self.inner.not_full.notify_one();
+            Ok(v)
+        } else if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = unpoison(self.inner.state.lock());
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (g, _) = unpoison(self.inner.not_empty.wait_timeout(st, remaining));
+            st = g;
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        unpoison(self.inner.state.lock()).queue.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        unpoison(self.inner.state.lock()).queue.len()
+    }
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+/// An unbounded mutex+condvar MPMC channel (the measurement baseline).
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// A bounded mutex+condvar MPMC channel (the measurement baseline).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap.max(1)))
+}

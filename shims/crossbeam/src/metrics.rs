@@ -1,0 +1,72 @@
+//! Process-global message-cost counters for the shim's channels.
+//!
+//! The counters cover only the *slow paths* — CAS retries, parks and
+//! condvar notifications — so the uncontended hot path stays free of shared
+//! counter traffic.  `plp-core` folds deltas of these counters into its
+//! per-engine `MsgStats` (see `Database::sync_channel_metrics`), and the
+//! message-cost benchmark reads them directly.
+//!
+//! This module is an *extension* over the real crossbeam's API: it exists
+//! only in the shim.  The engine confines its use to one function so the
+//! real crate can still be swapped in (see the crate docs).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ENQUEUE_SPINS: AtomicU64 = AtomicU64::new(0);
+static DEQUEUE_SPINS: AtomicU64 = AtomicU64::new(0);
+static PARKS: AtomicU64 = AtomicU64::new(0);
+static WAKEUPS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn enqueue_spin() {
+    ENQUEUE_SPINS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn dequeue_spin() {
+    DEQUEUE_SPINS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn park() {
+    PARKS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn wakeup() {
+    WAKEUPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Point-in-time copy of the global counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Producer-side retry rounds: failed ticket CASes and waits for a block
+    /// install or a full queue.
+    pub enqueue_spins: u64,
+    /// Consumer-side retry rounds: failed ticket CASes and waits for an
+    /// in-flight write or a block install.
+    pub dequeue_spins: u64,
+    /// Times a thread gave up spinning and blocked on the channel's condvar.
+    pub parks: u64,
+    /// Condvar notifications actually issued (skipped when no one sleeps).
+    pub wakeups: u64,
+}
+
+/// Read the global counters.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        enqueue_spins: ENQUEUE_SPINS.load(Ordering::Relaxed),
+        dequeue_spins: DEQUEUE_SPINS.load(Ordering::Relaxed),
+        parks: PARKS.load(Ordering::Relaxed),
+        wakeups: WAKEUPS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the global counters (benchmark harness use only; concurrent channel
+/// users simply see their activity start from zero again).
+pub fn reset() {
+    ENQUEUE_SPINS.store(0, Ordering::Relaxed);
+    DEQUEUE_SPINS.store(0, Ordering::Relaxed);
+    PARKS.store(0, Ordering::Relaxed);
+    WAKEUPS.store(0, Ordering::Relaxed);
+}

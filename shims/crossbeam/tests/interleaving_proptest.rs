@@ -1,0 +1,190 @@
+//! Property test: random interleaved send/recv/clone/drop sequences applied
+//! to the lock-free channel, the mutex+condvar baseline and a `VecDeque`
+//! model simultaneously — all three must agree on every observable outcome
+//! (delivered values, `Empty` vs `Disconnected`, send failures).
+
+use std::collections::VecDeque;
+
+use crossbeam::channel as lockfree;
+use crossbeam::channel::mutex_baseline as baseline;
+use proptest::prelude::*;
+
+/// One scripted operation, decoded from a byte.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Send(u64),
+    TryRecv,
+    CloneSender,
+    DropSender,
+}
+
+fn decode(byte: u8, seq: u64) -> Op {
+    match byte % 8 {
+        0..=2 => Op::Send(seq),
+        3..=5 => Op::TryRecv,
+        6 => Op::CloneSender,
+        _ => Op::DropSender,
+    }
+}
+
+/// A channel implementation under test, erased to the operations the script
+/// uses.
+trait Channel {
+    fn send(&mut self, v: u64) -> bool;
+    /// `Ok(Some)` = value, `Ok(None)` = empty, `Err(())` = disconnected.
+    fn try_recv(&mut self) -> Result<Option<u64>, ()>;
+    fn clone_sender(&mut self);
+    fn drop_sender(&mut self);
+    fn senders(&self) -> usize;
+}
+
+struct Lockfree {
+    senders: Vec<lockfree::Sender<u64>>,
+    rx: lockfree::Receiver<u64>,
+}
+
+impl Channel for Lockfree {
+    fn send(&mut self, v: u64) -> bool {
+        match self.senders.first() {
+            Some(tx) => tx.send(v).is_ok(),
+            None => false,
+        }
+    }
+    fn try_recv(&mut self) -> Result<Option<u64>, ()> {
+        match self.rx.try_recv() {
+            Ok(v) => Ok(Some(v)),
+            Err(lockfree::TryRecvError::Empty) => Ok(None),
+            Err(lockfree::TryRecvError::Disconnected) => Err(()),
+        }
+    }
+    fn clone_sender(&mut self) {
+        if let Some(tx) = self.senders.first() {
+            let clone = tx.clone();
+            self.senders.push(clone);
+        }
+    }
+    fn drop_sender(&mut self) {
+        self.senders.pop();
+    }
+    fn senders(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+struct Baseline {
+    senders: Vec<baseline::Sender<u64>>,
+    rx: baseline::Receiver<u64>,
+}
+
+impl Channel for Baseline {
+    fn send(&mut self, v: u64) -> bool {
+        match self.senders.first() {
+            Some(tx) => tx.send(v).is_ok(),
+            None => false,
+        }
+    }
+    fn try_recv(&mut self) -> Result<Option<u64>, ()> {
+        match self.rx.try_recv() {
+            Ok(v) => Ok(Some(v)),
+            Err(baseline::TryRecvError::Empty) => Ok(None),
+            Err(baseline::TryRecvError::Disconnected) => Err(()),
+        }
+    }
+    fn clone_sender(&mut self) {
+        if let Some(tx) = self.senders.first() {
+            let clone = tx.clone();
+            self.senders.push(clone);
+        }
+    }
+    fn drop_sender(&mut self) {
+        self.senders.pop();
+    }
+    fn senders(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+fn run_script(ops: &[u8]) {
+    let (ltx, lrx) = lockfree::unbounded::<u64>();
+    let (btx, brx) = baseline::unbounded::<u64>();
+    let mut lf = Lockfree {
+        senders: vec![ltx],
+        rx: lrx,
+    };
+    let mut bl = Baseline {
+        senders: vec![btx],
+        rx: brx,
+    };
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut model_senders = 1usize;
+
+    for (i, &byte) in ops.iter().enumerate() {
+        match decode(byte, i as u64) {
+            Op::Send(v) => {
+                let sent_lf = lf.send(v);
+                let sent_bl = bl.send(v);
+                let sent_model = model_senders > 0;
+                assert_eq!(sent_lf, sent_model, "send outcome diverged at op {i}");
+                assert_eq!(sent_bl, sent_model, "baseline send diverged at op {i}");
+                if sent_model {
+                    model.push_back(v);
+                }
+            }
+            Op::TryRecv => {
+                let expected = if let Some(v) = model.pop_front() {
+                    Ok(Some(v))
+                } else if model_senders == 0 {
+                    Err(())
+                } else {
+                    Ok(None)
+                };
+                assert_eq!(lf.try_recv(), expected, "lock-free recv diverged at op {i}");
+                assert_eq!(bl.try_recv(), expected, "baseline recv diverged at op {i}");
+            }
+            Op::CloneSender => {
+                lf.clone_sender();
+                bl.clone_sender();
+                if model_senders > 0 {
+                    model_senders += 1;
+                }
+            }
+            Op::DropSender => {
+                lf.drop_sender();
+                bl.drop_sender();
+                model_senders = model_senders.saturating_sub(1);
+            }
+        }
+        assert_eq!(lf.senders(), model_senders);
+    }
+
+    // Drain: everything the model still holds must come out, in order, from
+    // both implementations, followed by Empty/Disconnected as appropriate.
+    while let Some(v) = model.pop_front() {
+        assert_eq!(lf.try_recv(), Ok(Some(v)), "drain diverged (lock-free)");
+        assert_eq!(bl.try_recv(), Ok(Some(v)), "drain diverged (baseline)");
+    }
+    let tail = if model_senders == 0 {
+        Err(())
+    } else {
+        Ok(None)
+    };
+    assert_eq!(lf.try_recv(), tail);
+    assert_eq!(bl.try_recv(), tail);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn interleaved_send_recv_drop_matches_model(
+        ops in prop::collection::vec(0u8..=255, 1..200)
+    ) {
+        run_script(&ops);
+    }
+}
+
+#[test]
+fn drop_heavy_script_reaches_disconnect() {
+    // Deterministic regression: drop the only sender early, keep receiving.
+    run_script(&[0, 0, 7, 3, 3, 3, 3]);
+}

@@ -150,12 +150,7 @@ mod tests {
         state[..4].copy_from_slice(&CONSTANTS);
         for (i, w) in state[4..12].iter_mut().enumerate() {
             let i = i as u32 * 4;
-            *w = u32::from_le_bytes([
-                i as u8,
-                (i + 1) as u8,
-                (i + 2) as u8,
-                (i + 3) as u8,
-            ]);
+            *w = u32::from_le_bytes([i as u8, (i + 1) as u8, (i + 2) as u8, (i + 3) as u8]);
         }
         state[12] = 1;
         state[13] = 0x0900_0000;

@@ -4,7 +4,9 @@ use proptest::prelude::*;
 
 use plp_btree::{BTree, MrbTree};
 use plp_instrument::StatsRegistry;
-use plp_storage::{Access, BufferPool, HeapFile, Page, PlacementHint, PlacementPolicy, SlottedPage};
+use plp_storage::{
+    Access, BufferPool, HeapFile, Page, PlacementHint, PlacementPolicy, SlottedPage,
+};
 use std::collections::{BTreeMap, HashMap};
 
 proptest! {

@@ -60,7 +60,9 @@ fn read_key(engine: &Engine, key: u64) -> Option<Vec<u8>> {
             },
         )))
         .expect("recovered engine must serve reads");
-    out.into_iter().next().and_then(|o| o.rows.into_iter().next())
+    out.into_iter()
+        .next()
+        .and_then(|o| o.rows.into_iter().next())
 }
 
 /// Chop `bytes` off the end of the on-disk log: the last segment is
@@ -195,7 +197,10 @@ fn recovery_crash_child() {
 
     let engine = Engine::start(child_config(Path::new(&dir)), &schema());
     for k in 0..CHILD_LOADED_KEYS {
-        engine.db().load_record(TABLE, k, &value_for(k), None).unwrap();
+        engine
+            .db()
+            .load_record(TABLE, k, &value_for(k), None)
+            .unwrap();
     }
     engine.finish_loading();
     engine.repartition(TABLE, &CHILD_BOUNDS).unwrap();
@@ -209,10 +214,14 @@ fn recovery_crash_child() {
         let key = CHILD_INSERT_BASE + i;
         let val = value_for(key);
         session
-            .execute(TransactionPlan::single(Action::new(TABLE, key, move |ctx| {
-                ctx.insert(TABLE, key, &val, None)?;
-                Ok(ActionOutput::empty())
-            })))
+            .execute(TransactionPlan::single(Action::new(
+                TABLE,
+                key,
+                move |ctx| {
+                    ctx.insert(TABLE, key, &val, None)?;
+                    Ok(ActionOutput::empty())
+                },
+            )))
             .unwrap();
         // Only *after* the strict commit returned is the key reported.
         writeln!(oracle, "K {key}").unwrap();
@@ -233,7 +242,12 @@ fn sigkill_mid_workload_recovers_all_reported_commits() {
     let oracle_path = dir.join("oracle.txt");
     let exe = std::env::current_exe().unwrap();
     let mut child = std::process::Command::new(&exe)
-        .args(["recovery_crash_child", "--exact", "--nocapture", "--test-threads=1"])
+        .args([
+            "recovery_crash_child",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
         .env(CHILD_DIR_ENV, dir.join("wal"))
         .env(CHILD_ORACLE_ENV, &oracle_path)
         .stdout(std::process::Stdio::null())
@@ -301,7 +315,10 @@ fn sigkill_mid_workload_recovers_all_reported_commits() {
 
     // Every loaded record and every reported commit is intact.
     for k in (0..CHILD_LOADED_KEYS).step_by(17) {
-        assert_eq!(read_key(&recovered, k).as_deref(), Some(value_for(k).as_slice()));
+        assert_eq!(
+            read_key(&recovered, k).as_deref(),
+            Some(value_for(k).as_slice())
+        );
     }
     for &k in &reported {
         assert_eq!(

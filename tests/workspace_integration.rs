@@ -60,7 +60,10 @@ fn fig3_plp_latches_are_a_small_fraction() {
     let plp_regular = pct(&t.rows[2]);
     let plp_leaf = pct(&t.rows[3]);
     assert!(plp_regular < 45.0, "PLP-Regular at {plp_regular:.1}%");
-    assert!(plp_leaf < plp_regular, "PLP-Leaf ({plp_leaf:.1}%) should be lowest");
+    assert!(
+        plp_leaf < plp_regular,
+        "PLP-Leaf ({plp_leaf:.1}%) should be lowest"
+    );
 }
 
 #[test]
@@ -75,7 +78,10 @@ fn fig11_fragmentation_orders_policies() {
         // Regular is the baseline (1.0); owned placements never use fewer pages.
         assert!((v(3) - 1.0).abs() < 1e-9);
         assert!(v(4) >= 1.0 - 1e-9);
-        assert!(v(5) >= v(4) - 1e-9, "PLP-Leaf fragments at least as much as PLP-Partition");
+        assert!(
+            v(5) >= v(4) - 1e-9,
+            "PLP-Leaf fragments at least as much as PLP-Partition"
+        );
     }
 }
 
