@@ -8,6 +8,8 @@
 //! which design wins, by roughly what factor, and where the crossovers are —
 //! is what these experiments check.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod msgcost;
 

@@ -18,6 +18,8 @@
 //! * [`costmodel`] — the analytical repartitioning cost model of Table 2,
 //!   used to regenerate Table 1.
 
+#![forbid(unsafe_code)]
+
 pub mod costmodel;
 pub mod mrbtree;
 pub mod node;

@@ -18,6 +18,8 @@
 //! threads (partitioned designs), and reports every critical section, page
 //! latch and wait into the shared instrumentation registry.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod action;
 pub mod catalog;
 pub mod ctx;
@@ -26,6 +28,7 @@ pub mod dlb;
 pub mod engine;
 pub mod error;
 pub mod partition;
+pub(crate) mod primitives;
 pub mod reply;
 pub mod table;
 pub mod worker;

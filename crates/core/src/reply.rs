@@ -41,13 +41,25 @@
 //! read.  Exactly one promise exists per round (enforced by ownership:
 //! `fulfill` consumes the promise), so the cell is never written twice.  The
 //! mailbox is a tiny mutex, touched only on the park path.
+//!
+//! # Round-tag wraparound (audit note)
+//!
+//! The round counter occupies the state word's upper 62 bits, so it wraps
+//! after 2^62 ≈ 4.6·10^18 rounds.  A stale fulfiller would additionally have
+//! to resurface after *exactly* a multiple of 2^62 intervening rounds for
+//! its tag to collide — at a round per microsecond that is ~146,000 years of
+//! uptime, so wraparound is not defended against.  The model tests below
+//! pin the realistic reuse race (a stale fulfiller one round behind).
+//!
+//! This module is model-checked: `cargo test -p plp-core --features
+//! loom-model model_` explores the fulfill/wait rendezvous and the
+//! stale-fulfiller reuse race under the loom shim (see `docs/concurrency.md`).
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::Thread;
 
-use parking_lot::Mutex;
+use crate::primitives::{
+    current, park, spin_hint, Arc, AtomicU64, Mutex, Ordering, Thread, SPIN_BUDGET,
+};
 
 const PHASE_MASK: u64 = 0b11;
 const EMPTY: u64 = 0;
@@ -88,9 +100,14 @@ struct Inner<T> {
     waiter: Mutex<Option<(u64, Thread)>>,
 }
 
-// The value cell is handed off with Release/Acquire through `state`; see the
-// module docs.
+// SAFETY: the only non-Sync field is the value cell, and it is handed off
+// with Release/Acquire through `state`: exactly one promise per round writes
+// it before the AcqRel swap to READY, and the waiter reads it only after an
+// Acquire load observes READY (see the module docs).  The mailbox is behind
+// a mutex.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: as above — all shared access to the value cell is serialized by
+// the `state` protocol, everything else is atomics and a mutex.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 /// Coordinator-side handle: owns the slot across rounds.  One outstanding
@@ -166,10 +183,10 @@ impl<T> ReplySlot<T> {
             // Spin briefly: under load the worker answers within the budget.
             // On a single-CPU host the worker cannot make progress while we
             // spin, so skip straight to the park path.
-            let budget = if single_cpu() { 0u32 } else { 64 };
+            let budget = if single_cpu() { 0u32 } else { SPIN_BUDGET };
             let mut spins = 0u32;
             while spins < budget {
-                std::hint::spin_loop();
+                spin_hint();
                 state = self.inner.state.load(Ordering::Acquire);
                 if state == ready || state == closed {
                     break;
@@ -184,7 +201,7 @@ impl<T> ReplySlot<T> {
                     let mut mailbox = self.inner.waiter.lock();
                     state = self.inner.state.load(Ordering::Acquire);
                     if state != ready && state != closed {
-                        *mailbox = Some((self.round, std::thread::current()));
+                        *mailbox = Some((self.round, current()));
                     }
                 }
                 loop {
@@ -192,13 +209,15 @@ impl<T> ReplySlot<T> {
                     if state == ready || state == closed {
                         break;
                     }
-                    std::thread::park();
+                    park();
                 }
             }
         }
         let result = if state == ready {
-            // Release/Acquire through `state`: the fulfiller's value write
-            // happens-before this read.
+            // SAFETY: Release/Acquire through `state`: the fulfiller's value
+            // write happens-before this read, and no promise for a new round
+            // can exist until this round is consumed, so nothing else
+            // touches the cell now.
             Ok(unsafe { (*self.inner.value.get()).take() }.expect("READY slot carries a value"))
         } else {
             Err(ReplyClosed)
@@ -214,8 +233,9 @@ impl<T> ReplySlot<T> {
 impl<T> ReplyPromise<T> {
     /// Deliver the reply and wake the waiter (if it parked).
     pub fn fulfill(mut self, value: T) {
-        // Sole writer for this round: the waiter reads only after observing
-        // READY, and the next round starts only after the waiter consumed.
+        // SAFETY: sole writer for this round (ownership: `fulfill` consumes
+        // the promise); the waiter reads only after observing READY, and the
+        // next round starts only after the waiter consumed.
         unsafe {
             *self.inner.value.get() = Some(value);
         }
@@ -306,6 +326,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "10k spawn/park rounds is too slow under miri")]
     fn reuse_many_rounds_across_threads() {
         let mut slot = ReplySlot::new();
         for i in 0..10_000u64 {
@@ -327,5 +348,62 @@ mod tests {
         let mut slot = ReplySlot::<u32>::new();
         let _p1 = slot.promise();
         let _p2 = slot.promise();
+    }
+}
+
+/// Model-checked protocol tests (the `loom-model` lane); see the module docs
+/// and `docs/concurrency.md`.
+#[cfg(all(test, any(plp_loom, feature = "loom-model")))]
+mod model_tests {
+    use super::*;
+
+    /// The basic rendezvous: whatever interleaving the spin/park path takes,
+    /// the waiter gets the value exactly once and the slot comes back EMPTY.
+    #[test]
+    fn model_replyslot_fulfill_vs_wait() {
+        loom::model(|| {
+            let mut slot = ReplySlot::new();
+            let p = slot.promise();
+            let worker = loom::thread::spawn(move || p.fulfill(7u32));
+            assert_eq!(slot.wait(), Ok(7));
+            assert!(!slot.ready());
+            worker.join().unwrap();
+        });
+    }
+
+    /// Slot reuse vs a stale fulfiller: round 1's fulfiller is *not* joined
+    /// before the coordinator consumes the reply and dispatches round 2
+    /// through the same slot, so the first worker's unpark step can run
+    /// while round 2's waiter is registered.  The round tag must keep it
+    /// from stealing that registration.
+    #[test]
+    fn model_replyslot_reuse_with_stale_fulfiller() {
+        loom::model(|| {
+            let mut slot = ReplySlot::new();
+            let p1 = slot.promise();
+            let w1 = loom::thread::spawn(move || p1.fulfill(1u32));
+            assert_eq!(slot.wait(), Ok(1));
+            let p2 = slot.promise();
+            let w2 = loom::thread::spawn(move || p2.fulfill(2u32));
+            assert_eq!(slot.wait(), Ok(2));
+            w1.join().unwrap();
+            w2.join().unwrap();
+        });
+    }
+
+    /// A promise dropped unfulfilled must wake the waiter with
+    /// `ReplyClosed`, and the slot must be reusable afterwards.
+    #[test]
+    fn model_replyslot_dropped_promise_closes() {
+        loom::model(|| {
+            let mut slot = ReplySlot::<u32>::new();
+            let p = slot.promise();
+            let worker = loom::thread::spawn(move || drop(p));
+            assert_eq!(slot.wait(), Err(ReplyClosed));
+            worker.join().unwrap();
+            let p = slot.promise();
+            p.fulfill(1);
+            assert_eq!(slot.wait(), Ok(1));
+        });
     }
 }

@@ -22,13 +22,17 @@
 //! many threads, and the absolute precision of a counter is irrelevant — the
 //! paper reports counts per transaction aggregated over millions of events.
 
+#![forbid(unsafe_code)]
+
 pub mod breakdown;
+pub mod model;
 pub mod report;
 pub mod stats;
 pub mod sync;
 pub mod timer;
 
 pub use breakdown::{BreakdownSnapshot, TimeBreakdown, TimeBucket};
+pub use model::{model_check_snapshot, ModelCheckSnapshot};
 pub use report::{format_table, Cell, Table};
 pub use stats::{
     ContentionClass, CsCategory, CsStats, CsStatsSnapshot, DlbStats, DlbStatsSnapshot, LatchStats,

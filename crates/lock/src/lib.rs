@@ -17,6 +17,8 @@
 //! [`sli::AgentLockCache`] implementing the SLI fast path for intention locks,
 //! and a [`local::LocalLockTable`] for the partitioned designs.
 
+#![forbid(unsafe_code)]
+
 pub mod key;
 pub mod local;
 pub mod manager;

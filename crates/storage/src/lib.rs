@@ -20,6 +20,8 @@
 //! latches, buffer-pool cleaner handshakes) are all present and instrumented,
 //! because counting them is the point of the reproduction.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bufferpool;
 pub mod cleaner;
 pub mod error;

@@ -13,6 +13,8 @@
 //! that is exactly where the designs differ (centralized locking + SLI vs.
 //! thread-local locking; latched vs. latch-free page access).
 
+#![forbid(unsafe_code)]
+
 pub mod manager;
 pub mod xct;
 

@@ -67,6 +67,8 @@
 //! replays from the start of the log; the checkpoint bounds the *analysis*
 //! pass and will bound redo once pages become persistent.
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod device;
 pub mod manager;

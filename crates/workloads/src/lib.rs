@@ -14,6 +14,8 @@
 //! * [`driver`] — multi-threaded measurement harness producing throughput and
 //!   instrumentation deltas for the benchmark binaries.
 
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod micro;
 pub mod skew;

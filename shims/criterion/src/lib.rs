@@ -9,6 +9,8 @@
 //! other. Swap the workspace dependency back to the real crate when network
 //! access is available.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

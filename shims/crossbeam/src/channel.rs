@@ -30,9 +30,12 @@
 //! the message and never sleeps.
 
 use std::fmt;
-use std::sync::atomic::{fence, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::PoisonError;
 use std::time::{Duration, Instant};
+
+// std in normal builds, the loom model checker under the model-check lane;
+// see `crate::primitives`.
+use crate::primitives::{fence, Arc, AtomicUsize, Condvar, Mutex, Ordering};
 
 use crate::metrics;
 use crate::queue::{Backoff, Bounded, Unbounded};
@@ -562,6 +565,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "wall-clock timeouts are meaningless under miri")]
     fn recv_timeout_times_out_then_delivers() {
         let (tx, rx) = unbounded::<u32>();
         assert_eq!(

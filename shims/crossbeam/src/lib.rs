@@ -37,6 +37,11 @@
 //! and the `fig_msgcost` benchmark; everything else uses the real crate's
 //! API surface.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod channel;
 pub mod metrics;
+#[cfg(all(test, any(plp_loom, feature = "loom-model")))]
+mod model_tests;
+mod primitives;
 mod queue;

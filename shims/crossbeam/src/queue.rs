@@ -43,9 +43,11 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
 
 use crate::metrics;
+// std in normal builds, the loom model checker under the model-check lane;
+// see `crate::primitives`.
+use crate::primitives::{fence, spin_wait, yield_now, AtomicPtr, AtomicUsize, Ordering};
 
 /// Pads and aligns a value to 64 bytes (one cache line on the platforms we
 /// care about) so the producer and consumer counters never share a line.
@@ -90,11 +92,9 @@ impl Backoff {
     /// Light backoff for CAS-retry loops.
     pub(crate) fn spin(&mut self) {
         if self.single_cpu {
-            std::thread::yield_now();
+            yield_now();
         } else {
-            for _ in 0..1u32 << self.step.min(Self::SPIN_LIMIT) {
-                std::hint::spin_loop();
-            }
+            spin_wait(1u32 << self.step.min(Self::SPIN_LIMIT));
         }
         self.step = self.step.saturating_add(1);
     }
@@ -103,16 +103,14 @@ impl Backoff {
     /// while waiting longer still makes sense (below the parking threshold).
     pub(crate) fn snooze(&mut self) -> bool {
         if self.single_cpu {
-            std::thread::yield_now();
+            yield_now();
             self.step = self.step.saturating_add(1);
             return self.step <= Self::SINGLE_CPU_YIELD_LIMIT;
         }
         if self.step <= Self::SPIN_LIMIT {
-            for _ in 0..1u32 << self.step {
-                std::hint::spin_loop();
-            }
+            spin_wait(1u32 << self.step);
         } else {
-            std::thread::yield_now();
+            yield_now();
         }
         self.step = self.step.saturating_add(1);
         self.step <= Self::YIELD_LIMIT
@@ -143,7 +141,15 @@ pub(crate) struct Bounded<T> {
     dequeue_pos: CachePadded<AtomicUsize>,
 }
 
+// SAFETY: the only non-Sync state is the slot value cells, and each is
+// handed off through its slot's `sequence` stamp: the producer writes the
+// cell before the Release store of `2*pos + 1`, the consumer reads it after
+// the Acquire load of that stamp, and the doubled-lap encoding ensures one
+// producer and one consumer per (slot, lap).  `T: Send` is required because
+// values move across threads.
 unsafe impl<T: Send> Send for Bounded<T> {}
+// SAFETY: as above — all shared slot access is serialized by the stamp
+// protocol; the positions are atomics.
 unsafe impl<T: Send> Sync for Bounded<T> {}
 
 impl<T> Bounded<T> {
@@ -180,6 +186,10 @@ impl<T> Bounded<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
+                        // SAFETY: the CAS claimed ticket `pos`, so we are the
+                        // sole writer of this slot until the consumer of this
+                        // lap frees it; the consumer reads only after the
+                        // Release store below publishes the write.
                         unsafe { slot.value.get().write(MaybeUninit::new(value)) };
                         slot.sequence.store(2 * pos + 1, Ordering::Release);
                         return Ok(());
@@ -220,6 +230,10 @@ impl<T> Bounded<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
+                        // SAFETY: the Acquire load of `2*pos + 1` above saw
+                        // the producer's Release store, so the value write
+                        // happens-before this read; the CAS claimed ticket
+                        // `pos`, so no other consumer reads this (slot, lap).
                         let value = unsafe { slot.value.get().read().assume_init() };
                         slot.sequence
                             .store(2 * (pos + self.capacity), Ordering::Release);
@@ -275,7 +289,13 @@ impl<T> Drop for Bounded<T> {
 /// Messages per block.  One position per lap ([`LAP`]) is a sentinel no
 /// message occupies: the producer that claims the last real slot of a block
 /// installs the next block and bumps the index past the sentinel.
-const BLOCK_CAP: usize = 31;
+#[cfg(not(any(plp_loom, feature = "loom-model")))]
+pub(crate) const BLOCK_CAP: usize = 31;
+/// Shrunk under the model checker so a model test crosses block boundaries
+/// and reaches the WRITE/READ/DESTROY reclamation protocol within a few
+/// operations (the arithmetic nowhere assumes a particular block size).
+#[cfg(any(plp_loom, feature = "loom-model"))]
+pub(crate) const BLOCK_CAP: usize = 3;
 const LAP: usize = BLOCK_CAP + 1;
 
 /// Slot states (bit flags).
@@ -321,18 +341,43 @@ impl<T> Block<T> {
     /// Free the block once every reader is done with it.  A slot whose reader
     /// is still mid-read receives the `DESTROY` baton instead; that reader
     /// continues the destruction from the next slot when it finishes.
+    ///
+    /// # Safety
+    ///
+    /// `this` must be a block unlinked from the queue (head has moved past
+    /// it), with slots `0..start` already known read — so the only threads
+    /// still touching it are readers of `start..`, and the baton protocol
+    /// below picks exactly one thread to free it.
+    ///
+    /// ## Audit note (reclamation)
+    ///
+    /// The freeing decision is per-slot two-phase: a reader is "done" only
+    /// once it `fetch_or(READ)`s *after* its value read, and destroy only
+    /// proceeds past a slot when it observes READ — either directly
+    /// (Acquire, pairing with the reader's AcqRel RMW) or by losing the
+    /// `fetch_or(DESTROY)` race, in which case that reader saw DESTROY and
+    /// continues destruction itself *after* finishing its read.  Hence no
+    /// thread can free the block while another still holds a `&slot` —
+    /// the use-after-free candidate here is a reader still between its
+    /// value read and its READ flag, and the baton handoff is what makes
+    /// that window safe.  `model_unbounded_block_reclamation` explores this
+    /// under the checker.
     unsafe fn destroy(this: *mut Block<T>, start: usize) {
         // The last slot's reader is the one that starts destruction, so the
         // last slot itself never needs the baton.
         for i in start..BLOCK_CAP - 1 {
-            let slot = &(*this).slots[i];
+            // SAFETY: caller guarantees `this` is unlinked and not yet
+            // freed; only the single baton holder runs this loop.
+            let slot = unsafe { &(*this).slots[i] };
             if slot.state.load(Ordering::Acquire) & READ == 0
                 && slot.state.fetch_or(DESTROY, Ordering::AcqRel) & READ == 0
             {
                 return;
             }
         }
-        drop(Box::from_raw(this));
+        // SAFETY: every slot is READ (loop above) and the block came from
+        // `Box::into_raw` in `push`; we are the unique freeing thread.
+        unsafe { drop(Box::from_raw(this)) };
     }
 }
 
@@ -347,7 +392,14 @@ pub(crate) struct Unbounded<T> {
     tail: CachePadded<Position<T>>,
 }
 
+// SAFETY: slot value cells are handed off through the slot's WRITE flag
+// (Release on the producer side, Acquire on the consumer side) and each
+// position is claimed by exactly one producer and one consumer via the
+// index CASes; block lifetime is governed by the READ/DESTROY protocol
+// (see `Block::destroy`).  `T: Send` because values move across threads.
 unsafe impl<T: Send> Send for Unbounded<T> {}
+// SAFETY: as above — shared access is serialized by the index/flag
+// protocols; everything else is atomics.
 unsafe impl<T: Send> Sync for Unbounded<T> {}
 
 impl<T> Unbounded<T> {
@@ -394,6 +446,10 @@ impl<T> Unbounded<T> {
                 Ordering::SeqCst,
                 Ordering::Acquire,
             ) {
+                // SAFETY: the CAS claimed position `tail`, making us the
+                // sole writer of that slot; `block` is alive because head
+                // cannot pass a slot whose WRITE flag is unset, so the
+                // READ/DESTROY protocol cannot free it under us.
                 Ok(_) => unsafe {
                     if offset + 1 == BLOCK_CAP {
                         // Install the next block and skip the sentinel.  The
@@ -450,6 +506,10 @@ impl<T> Unbounded<T> {
                 Ordering::SeqCst,
                 Ordering::Acquire,
             ) {
+                // SAFETY: the CAS claimed position `head`, making us the
+                // sole reader of that slot; the block stays alive until this
+                // reader sets its READ flag (or takes the DESTROY baton) —
+                // see the audit note on `Block::destroy`.
                 Ok(_) => unsafe {
                     if offset + 1 == BLOCK_CAP {
                         // We claimed the last slot: advance head to the next
@@ -516,6 +576,9 @@ impl<T> Drop for Unbounded<T> {
         let mut head = *self.head.0.index.get_mut();
         let tail = *self.tail.0.index.get_mut();
         let mut block = *self.head.0.block.get_mut();
+        // SAFETY: `&mut self` proves no concurrent access; every position in
+        // `head..tail` holds an initialized, unread value, and the block
+        // chain from `head`'s block onward is owned by the queue.
         unsafe {
             while head != tail {
                 let offset = head % LAP;
@@ -605,6 +668,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "20k-element spin transfer is too slow under miri")]
     fn bounded_concurrent_transfer() {
         let q = std::sync::Arc::new(Bounded::new(8));
         let total = 20_000u64;

@@ -1,0 +1,336 @@
+//! Model-aware atomics.
+//!
+//! Each type wraps the corresponding `std::sync::atomic` type.  Outside an
+//! active model execution every operation delegates to the real atomic, so
+//! code threaded through the facade behaves identically in ordinary tests.
+//! Inside a model execution ([`crate::model`]) operations are routed to the
+//! runtime's per-location store histories instead, where scheduling and
+//! weak-memory visibility are explored systematically; the wrapped std
+//! atomic then keeps holding the *initial* value, which seeds the location
+//! on first access (so objects created before the model closure still start
+//! from a consistent value every iteration).
+//!
+//! `get_mut`/`into_inner` take `&mut self`/`self`, which proves exclusive
+//! access: under a model they resync the wrapped std value from the latest
+//! store in modification order (no visibility branching — an exclusive
+//! reference rules out concurrent observers) and hand out the std reference.
+
+use std::marker::PhantomData;
+pub use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+/// Identity of an atomic for the runtime's location table: its address.
+/// Stable once the object is in place (all model operations go through
+/// `&self`); `Location` state is re-seeded from the std value on first
+/// touch of a fresh execution.
+fn addr<T: ?Sized>(x: &T) -> usize {
+    x as *const T as *const u8 as usize
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Model-aware drop-in for the std atomic of the same name.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            std: $std,
+        }
+
+        impl $name {
+            pub fn new(v: $prim) -> Self {
+                Self {
+                    std: <$std>::new(v),
+                }
+            }
+
+            #[inline]
+            fn initial(&self) -> u64 {
+                self.std.load(Ordering::Relaxed) as u64
+            }
+
+            pub fn load(&self, ord: Ordering) -> $prim {
+                match rt::ctx() {
+                    Some(ctx) => rt::atomic_load(&ctx, addr(self), ord, self.initial()) as $prim,
+                    None => self.std.load(ord),
+                }
+            }
+
+            pub fn store(&self, val: $prim, ord: Ordering) {
+                match rt::ctx() {
+                    Some(ctx) => {
+                        rt::atomic_store(&ctx, addr(self), val as u64, ord, self.initial())
+                    }
+                    None => self.std.store(val, ord),
+                }
+            }
+
+            pub fn swap(&self, val: $prim, ord: Ordering) -> $prim {
+                match rt::ctx() {
+                    Some(ctx) => {
+                        rt::atomic_rmw(&ctx, addr(self), ord, self.initial(), |_| val as u64)
+                            as $prim
+                    }
+                    None => self.std.swap(val, ord),
+                }
+            }
+
+            pub fn fetch_add(&self, val: $prim, ord: Ordering) -> $prim {
+                match rt::ctx() {
+                    Some(ctx) => rt::atomic_rmw(&ctx, addr(self), ord, self.initial(), |v| {
+                        (v as $prim).wrapping_add(val) as u64
+                    }) as $prim,
+                    None => self.std.fetch_add(val, ord),
+                }
+            }
+
+            pub fn fetch_sub(&self, val: $prim, ord: Ordering) -> $prim {
+                match rt::ctx() {
+                    Some(ctx) => rt::atomic_rmw(&ctx, addr(self), ord, self.initial(), |v| {
+                        (v as $prim).wrapping_sub(val) as u64
+                    }) as $prim,
+                    None => self.std.fetch_sub(val, ord),
+                }
+            }
+
+            pub fn fetch_or(&self, val: $prim, ord: Ordering) -> $prim {
+                match rt::ctx() {
+                    Some(ctx) => rt::atomic_rmw(&ctx, addr(self), ord, self.initial(), |v| {
+                        ((v as $prim) | val) as u64
+                    }) as $prim,
+                    None => self.std.fetch_or(val, ord),
+                }
+            }
+
+            pub fn fetch_and(&self, val: $prim, ord: Ordering) -> $prim {
+                match rt::ctx() {
+                    Some(ctx) => rt::atomic_rmw(&ctx, addr(self), ord, self.initial(), |v| {
+                        ((v as $prim) & val) as u64
+                    }) as $prim,
+                    None => self.std.fetch_and(val, ord),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match rt::ctx() {
+                    Some(ctx) => rt::atomic_cas(
+                        &ctx,
+                        addr(self),
+                        current as u64,
+                        new as u64,
+                        success,
+                        failure,
+                        self.initial(),
+                    )
+                    .map(|v| v as $prim)
+                    .map_err(|v| v as $prim),
+                    None => self.std.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// Modeled without spurious failure (see the runtime docs).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match rt::ctx() {
+                    Some(_) => self.compare_exchange(current, new, success, failure),
+                    None => self
+                        .std
+                        .compare_exchange_weak(current, new, success, failure),
+                }
+            }
+
+            pub fn get_mut(&mut self) -> &mut $prim {
+                if let Some(ctx) = rt::ctx() {
+                    let latest = rt::atomic_latest(&ctx, addr(&*self), self.initial());
+                    *self.std.get_mut() = latest as $prim;
+                }
+                self.std.get_mut()
+            }
+
+            pub fn into_inner(mut self) -> $prim {
+                *self.get_mut()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+int_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+
+/// Model-aware `AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    std: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        Self {
+            std: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    #[inline]
+    fn initial(&self) -> u64 {
+        self.std.load(Ordering::Relaxed) as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        match rt::ctx() {
+            Some(ctx) => rt::atomic_load(&ctx, addr(self), ord, self.initial()) != 0,
+            None => self.std.load(ord),
+        }
+    }
+
+    pub fn store(&self, val: bool, ord: Ordering) {
+        match rt::ctx() {
+            Some(ctx) => rt::atomic_store(&ctx, addr(self), val as u64, ord, self.initial()),
+            None => self.std.store(val, ord),
+        }
+    }
+
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        match rt::ctx() {
+            Some(ctx) => rt::atomic_rmw(&ctx, addr(self), ord, self.initial(), |_| val as u64) != 0,
+            None => self.std.swap(val, ord),
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match rt::ctx() {
+            Some(ctx) => rt::atomic_cas(
+                &ctx,
+                addr(self),
+                current as u64,
+                new as u64,
+                success,
+                failure,
+                self.initial(),
+            )
+            .map(|v| v != 0)
+            .map_err(|v| v != 0),
+            None => self.std.compare_exchange(current, new, success, failure),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        if let Some(ctx) = rt::ctx() {
+            let latest = rt::atomic_latest(&ctx, addr(&*self), self.initial());
+            *self.std.get_mut() = latest != 0;
+        }
+        self.std.get_mut()
+    }
+
+    pub fn into_inner(mut self) -> bool {
+        *self.get_mut()
+    }
+}
+
+/// Model-aware `AtomicPtr`.  The runtime tracks the pointer as an address
+/// value; the facade's users own the pointee through other means (the
+/// segmented queue's block chain), so no provenance bookkeeping is needed —
+/// and outside models the real `std` atomic carries the pointer untouched.
+#[derive(Debug)]
+pub struct AtomicPtr<T> {
+    std: std::sync::atomic::AtomicPtr<T>,
+    _marker: PhantomData<()>,
+}
+
+impl<T> AtomicPtr<T> {
+    pub fn new(p: *mut T) -> Self {
+        Self {
+            std: std::sync::atomic::AtomicPtr::new(p),
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn initial(&self) -> u64 {
+        self.std.load(Ordering::Relaxed) as usize as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        match rt::ctx() {
+            Some(ctx) => rt::atomic_load(&ctx, addr(self), ord, self.initial()) as usize as *mut T,
+            None => self.std.load(ord),
+        }
+    }
+
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        match rt::ctx() {
+            Some(ctx) => rt::atomic_store(&ctx, addr(self), p as usize as u64, ord, self.initial()),
+            None => self.std.store(p, ord),
+        }
+    }
+
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        match rt::ctx() {
+            Some(ctx) => {
+                rt::atomic_rmw(&ctx, addr(self), ord, self.initial(), |_| p as usize as u64)
+                    as usize as *mut T
+            }
+            None => self.std.swap(p, ord),
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        match rt::ctx() {
+            Some(ctx) => rt::atomic_cas(
+                &ctx,
+                addr(self),
+                current as usize as u64,
+                new as usize as u64,
+                success,
+                failure,
+                self.initial(),
+            )
+            .map(|v| v as usize as *mut T)
+            .map_err(|v| v as usize as *mut T),
+            None => self.std.compare_exchange(current, new, success, failure),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        if let Some(ctx) = rt::ctx() {
+            let latest = rt::atomic_latest(&ctx, addr(&*self), self.initial());
+            *self.std.get_mut() = latest as usize as *mut T;
+        }
+        self.std.get_mut()
+    }
+
+    pub fn into_inner(mut self) -> *mut T {
+        *self.get_mut()
+    }
+}
+
+/// Model-aware memory fence.
+pub fn fence(ord: Ordering) {
+    match rt::ctx() {
+        Some(ctx) => rt::atomic_fence(&ctx, ord),
+        None => std::sync::atomic::fence(ord),
+    }
+}

@@ -1,0 +1,53 @@
+//! Process-global model-run counters.
+//!
+//! `plp-instrument` folds these into its stats report so a `loom-model` test
+//! run shows how much interleaving coverage it actually bought (an
+//! exploration that silently collapses to one iteration would otherwise look
+//! identical to an exhaustive one).  Extension over the real loom's API,
+//! mirroring the pattern of `crossbeam::metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::rt::Stats;
+
+static MODELS_RUN: AtomicU64 = AtomicU64::new(0);
+static MODELS_FAILED: AtomicU64 = AtomicU64::new(0);
+static ITERATIONS: AtomicU64 = AtomicU64::new(0);
+static CHOICE_POINTS: AtomicU64 = AtomicU64::new(0);
+static MAX_DEPTH: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn record_run(stats: &Stats, failed: bool) {
+    MODELS_RUN.fetch_add(1, Ordering::Relaxed);
+    if failed {
+        MODELS_FAILED.fetch_add(1, Ordering::Relaxed);
+    }
+    ITERATIONS.fetch_add(stats.iterations, Ordering::Relaxed);
+    CHOICE_POINTS.fetch_add(stats.choice_points, Ordering::Relaxed);
+    MAX_DEPTH.fetch_max(stats.max_depth as u64, Ordering::Relaxed);
+}
+
+/// Point-in-time copy of the global model-run counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Completed `model`/`explore` calls.
+    pub models_run: u64,
+    /// Model runs that found a failing execution.
+    pub models_failed: u64,
+    /// Executions (interleavings) explored across all runs.
+    pub iterations: u64,
+    /// Nondeterministic choices taken across all runs.
+    pub choice_points: u64,
+    /// Longest choice vector seen in any run.
+    pub max_depth: u64,
+}
+
+/// Read the global counters.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        models_run: MODELS_RUN.load(Ordering::Relaxed),
+        models_failed: MODELS_FAILED.load(Ordering::Relaxed),
+        iterations: ITERATIONS.load(Ordering::Relaxed),
+        choice_points: CHOICE_POINTS.load(Ordering::Relaxed),
+        max_depth: MAX_DEPTH.load(Ordering::Relaxed),
+    }
+}

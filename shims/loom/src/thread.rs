@@ -1,0 +1,113 @@
+//! Model-aware `std::thread` subset: `spawn`/`JoinHandle`, `current`/
+//! `Thread::unpark`, `park`, `yield_now`.
+//!
+//! Outside a model execution everything delegates to `std::thread`.  Inside
+//! one, threads are runtime-managed (`crate::rt`): `spawn` registers a model
+//! thread, `park`/`unpark` go through the runtime's token + causality
+//! transfer, and `yield_now` marks the thread *yielded* so the scheduler
+//! deprioritizes it until every runnable peer has yielded too — this is what
+//! makes spin loops converge under DFS instead of exploding the tree.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt;
+
+/// Model-aware drop-in for `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: HandleInner<T>,
+}
+
+enum HandleInner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        result: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            HandleInner::Std(h) => h.join(),
+            HandleInner::Model { tid, result } => {
+                let ctx = rt::ctx().expect("model JoinHandle joined outside its model run");
+                rt::join(&ctx, tid);
+                // A model-thread panic aborts the whole execution before the
+                // join returns, so reaching here means the closure completed.
+                let v = result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined model thread stored its result");
+                Ok(v)
+            }
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::ctx() {
+        Some(ctx) => {
+            let result = Arc::new(StdMutex::new(None));
+            let slot = result.clone();
+            let tid = rt::spawn(&ctx, move || {
+                let v = f();
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            });
+            JoinHandle {
+                inner: HandleInner::Model { tid, result },
+            }
+        }
+        None => JoinHandle {
+            inner: HandleInner::Std(std::thread::spawn(f)),
+        },
+    }
+}
+
+/// Model-aware drop-in for `std::thread::Thread` (the `current`/`unpark`
+/// subset the workspace uses).
+#[derive(Clone, Debug)]
+pub struct Thread(ThreadInner);
+
+#[derive(Clone, Debug)]
+enum ThreadInner {
+    Std(std::thread::Thread),
+    Model(usize),
+}
+
+impl Thread {
+    pub fn unpark(&self) {
+        match &self.0 {
+            ThreadInner::Std(t) => t.unpark(),
+            ThreadInner::Model(tid) => {
+                let ctx = rt::ctx().expect("model Thread unparked outside its model run");
+                rt::unpark(&ctx, *tid);
+            }
+        }
+    }
+}
+
+pub fn current() -> Thread {
+    match rt::ctx() {
+        Some(ctx) => Thread(ThreadInner::Model(rt::current_tid(&ctx))),
+        None => Thread(ThreadInner::Std(std::thread::current())),
+    }
+}
+
+pub fn park() {
+    match rt::ctx() {
+        Some(ctx) => rt::park(&ctx),
+        None => std::thread::park(),
+    }
+}
+
+pub fn yield_now() {
+    match rt::ctx() {
+        Some(ctx) => rt::yield_now(&ctx),
+        None => std::thread::yield_now(),
+    }
+}

@@ -9,6 +9,8 @@
 //! Swap the workspace dependency back to the real crate when network access
 //! is available; no call sites need to change.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;

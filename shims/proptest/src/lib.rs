@@ -9,6 +9,8 @@
 //! workspace dependency back to the real crate when network access is
 //! available.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeSet;
 use std::ops::{Range, RangeInclusive};
 

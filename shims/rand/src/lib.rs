@@ -6,6 +6,8 @@
 //! `rand_chacha` shim. Swap the workspace dependency back to the real crate
 //! when network access is available.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level source of randomness.

@@ -7,6 +7,8 @@
 //! `rand_chacha`, which uses a different seed-expansion; the workspace only
 //! relies on determinism and statistical quality, not exact streams).
 
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, SeedableRng};
 
 #[derive(Debug, Clone)]

@@ -4,6 +4,8 @@
 //! workspace-level integration tests under `tests/`) can reach everything
 //! through one dependency.
 
+#![forbid(unsafe_code)]
+
 pub use plp_bench as bench;
 pub use plp_btree as btree;
 pub use plp_core as core;

@@ -1,0 +1,544 @@
+//! Workspace maintenance tasks.
+//!
+//! `cargo run -p xtask -- lint` walks the workspace sources and enforces the
+//! concurrency-hygiene rules that rustc/clippy cannot express:
+//!
+//! 1. **SAFETY comments** — every `unsafe` block, fn or impl must be
+//!    directly preceded (through attributes, blanks and the rest of its
+//!    comment block) by a comment containing `SAFETY:` explaining why the
+//!    contract holds.  Chained `unsafe impl` lines may share one comment.
+//! 2. **Memory-ordering allowlist** — `Ordering::Relaxed`, `Acquire`,
+//!    `Release` and `AcqRel` are only permitted in modules on the allowlist
+//!    below, each with a recorded reason (typically: the module is
+//!    model-checked, or the atomic is a counter with no cross-thread
+//!    ordering obligation).  `SeqCst` is always allowed — it is never the
+//!    *subtle* choice.  New weak orderings elsewhere fail CI until the
+//!    module is reviewed and listed.
+//! 3. **Crate-root attributes** — crates whose sources contain no `unsafe`
+//!    must carry `#![forbid(unsafe_code)]`; crates that do use `unsafe`
+//!    must carry `#![deny(unsafe_op_in_unsafe_fn)]`.
+//!
+//! Directories named `tests` are skipped: the rules protect production
+//! code, and test-only atomics/counters would drown the allowlist.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Modules allowed to use weak (non-SeqCst) memory orderings, with the
+/// reason each earned its entry.  Paths are workspace-relative prefixes.
+const ORDERING_ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "shims/loom/src/",
+        "the model checker itself implements the C11 visibility rules",
+    ),
+    (
+        "shims/crossbeam/src/",
+        "model-checked lock-free channels (docs/concurrency.md)",
+    ),
+    (
+        "crates/core/src/reply.rs",
+        "model-checked reply rendezvous (docs/concurrency.md)",
+    ),
+    (
+        "crates/core/src/engine.rs",
+        "relaxed fetch_add allocating unique agent ids; uniqueness needs atomicity only",
+    ),
+    (
+        "crates/core/src/partition.rs",
+        "failure-injection knob read and written on the same worker thread",
+    ),
+    (
+        "crates/core/src/dlb/histogram.rs",
+        "relaxed access counters, aggregated only after a quiesce barrier",
+    ),
+    (
+        "crates/instrument/src/",
+        "monotonic stat counters; snapshots tolerate torn cross-counter reads",
+    ),
+    (
+        "crates/storage/src/frame.rs",
+        "page-latch protocol; Acquire/Release pairing argued in-module",
+    ),
+    (
+        "crates/storage/src/bufferpool.rs",
+        "relaxed fetch_add allocating unique page ids",
+    ),
+    (
+        "crates/wal/src/manager.rs",
+        "flusher shutdown flag (Acquire/Release) and a relaxed LSN stat counter",
+    ),
+    (
+        "crates/txn/src/manager.rs",
+        "relaxed fetch_add allocating unique txn ids",
+    ),
+    (
+        "crates/workloads/src/",
+        "driver stat counters and the skew-shift offset cell (Acquire/Release pair)",
+    ),
+];
+
+const WEAK_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}` (try `cargo run -p xtask -- lint`)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("xtask: no task given (try `cargo run -p xtask -- lint`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives one level under the workspace root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for top in ["crates", "shims", "src", "xtask"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .expect("walked file is under the root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                violations.push(format!("{rel}: unreadable: {e}"));
+                continue;
+            }
+        };
+        let code = strip_comments_and_strings(&text);
+        check_safety_comments(&rel, &text, &code, &mut violations);
+        check_ordering_allowlist(&rel, &code, &mut violations);
+    }
+    check_crate_roots(&root, &files, &mut violations);
+
+    if violations.is_empty() {
+        println!(
+            "xtask lint: ok ({} files; SAFETY comments, ordering allowlist, crate-root attrs)",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("xtask lint: {v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `tests` directories hold integration tests; `target` holds
+            // build output.  Neither is lint territory.
+            if name != "tests" && name != "target" {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Replace comments and string/char-literal contents with spaces, keeping
+/// line structure intact so reported line numbers match the source.
+fn strip_comments_and_strings(text: &str) -> String {
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut st = St::Code;
+    let mut out = String::with_capacity(text.len());
+    let b: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match st {
+            St::Code => match (c, next) {
+                ('/', Some('/')) => {
+                    st = St::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                ('/', Some('*')) => {
+                    st = St::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                ('"', _) => {
+                    st = St::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                ('r', Some('"')) | ('r', Some('#')) => {
+                    // Raw string: count the hashes.
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                ('\'', _) => {
+                    // Char literal vs lifetime: a closing quote within a few
+                    // chars (allowing escapes) means literal.
+                    let is_char = b.get(i + 1) == Some(&'\\')
+                        || (b.get(i + 2) == Some(&'\'') && b.get(i + 1) != Some(&'\''));
+                    if is_char {
+                        st = St::Char;
+                    }
+                    out.push(c);
+                    i += 1;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            St::BlockComment(depth) => match (c, next) {
+                ('*', Some('/')) => {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                }
+                ('/', Some('*')) => {
+                    st = St::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                ('\n', _) => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+            St::Str => match (c, next) {
+                ('\\', Some(_)) => {
+                    out.push_str("  ");
+                    i += 2;
+                }
+                ('"', _) => {
+                    st = St::Code;
+                    out.push('"');
+                    i += 1;
+                }
+                ('\n', _) => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+            St::RawStr(hashes) => {
+                if c == '"' && (0..hashes).all(|k| b.get(i + 1 + k) == Some(&'#')) {
+                    st = St::Code;
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i = i + 1 + hashes;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::Char => {
+                if c == '\'' {
+                    st = St::Code;
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does `code` contain `unsafe` as a standalone token (not `unsafe_code`
+/// etc.)?
+fn has_unsafe_token(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find("unsafe") {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = rest[pos + 6..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + 6..];
+    }
+    false
+}
+
+fn is_comment_or_skippable(trimmed: &str) -> bool {
+    trimmed.is_empty()
+        || trimmed.starts_with("//")
+        || trimmed.starts_with("#[")
+        || trimmed.starts_with("#![")
+        || trimmed.starts_with("/*")
+        || trimmed.starts_with('*')
+}
+
+/// Rule 1: every line whose *code* contains an `unsafe` token must carry or
+/// be preceded by a `SAFETY:` comment (scanning upward through the rest of
+/// its comment/attribute block, and through chained `unsafe impl` lines).
+fn check_safety_comments(rel: &str, text: &str, code: &str, violations: &mut Vec<String>) {
+    let src_lines: Vec<&str> = text.lines().collect();
+    let code_lines: Vec<&str> = code.lines().collect();
+    for (idx, code_line) in code_lines.iter().enumerate() {
+        if !has_unsafe_token(code_line) {
+            continue;
+        }
+        // Attribute lines (`#![deny(unsafe_op_in_unsafe_fn)]` &co) never
+        // need a SAFETY comment; the token check already skips most, but be
+        // explicit.
+        if src_lines[idx].trim_start().starts_with('#') {
+            continue;
+        }
+        if src_lines[idx].contains("SAFETY:") {
+            continue;
+        }
+        let mut ok = false;
+        for j in (0..idx).rev() {
+            let trimmed = src_lines[j].trim_start();
+            // `SAFETY:` comments justify unsafe *blocks*; an `unsafe fn`'s
+            // contract conventionally lives in a `# Safety` doc section.
+            if trimmed.starts_with("//")
+                && (trimmed.contains("SAFETY:") || trimmed.contains("# Safety"))
+            {
+                ok = true;
+                break;
+            }
+            if is_comment_or_skippable(trimmed) {
+                continue;
+            }
+            // A chained `unsafe impl` shares the comment above the chain.
+            if has_unsafe_token(code_lines[j]) && trimmed.starts_with("unsafe impl") {
+                continue;
+            }
+            break;
+        }
+        if !ok {
+            violations.push(format!(
+                "{rel}:{}: `unsafe` without a preceding `// SAFETY:` comment",
+                idx + 1
+            ));
+        }
+    }
+}
+
+/// Rule 2: weak orderings only in allowlisted modules.
+fn check_ordering_allowlist(rel: &str, code: &str, violations: &mut Vec<String>) {
+    let allowed = ORDERING_ALLOWLIST.iter().any(|(p, _)| rel.starts_with(p));
+    if allowed {
+        return;
+    }
+    for (idx, line) in code.lines().enumerate() {
+        for ord in WEAK_ORDERINGS {
+            if line.contains(ord) {
+                violations.push(format!(
+                    "{rel}:{}: {ord} outside the ordering allowlist — either use SeqCst \
+                     or review the module and add it to ORDERING_ALLOWLIST in xtask \
+                     with a reason",
+                    idx + 1
+                ));
+            }
+        }
+    }
+}
+
+/// Rule 3: crate roots carry `#![forbid(unsafe_code)]` when the crate is
+/// unsafe-free, `#![deny(unsafe_op_in_unsafe_fn)]` when it is not.
+fn check_crate_roots(root: &Path, files: &[PathBuf], violations: &mut Vec<String>) {
+    let roots: Vec<PathBuf> = files
+        .iter()
+        .filter(|p| {
+            let rel = p.strip_prefix(root).expect("under root");
+            let s = rel.to_string_lossy().replace('\\', "/");
+            s == "src/lib.rs"
+                || s == "xtask/src/main.rs"
+                || (s.ends_with("/src/lib.rs")
+                    && (s.starts_with("crates/") || s.starts_with("shims/")))
+        })
+        .cloned()
+        .collect();
+    for crate_root in roots {
+        let rel = crate_root
+            .strip_prefix(root)
+            .expect("under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src_dir = crate_root.parent().expect("crate root has a src dir");
+        let crate_uses_unsafe = files.iter().filter(|p| p.starts_with(src_dir)).any(|p| {
+            std::fs::read_to_string(p)
+                .map(|t| has_unsafe_token(&strip_comments_and_strings(&t)))
+                .unwrap_or(false)
+        });
+        let text = std::fs::read_to_string(&crate_root).unwrap_or_default();
+        if crate_uses_unsafe {
+            if !text.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
+                violations.push(format!(
+                    "{rel}: crate uses `unsafe` but the root lacks \
+                     `#![deny(unsafe_op_in_unsafe_fn)]`"
+                ));
+            }
+        } else if !text.contains("#![forbid(unsafe_code)]") {
+            violations.push(format!(
+                "{rel}: crate is unsafe-free but the root lacks `#![forbid(unsafe_code)]`"
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripper_removes_comments_and_strings() {
+        let s = strip_comments_and_strings(
+            "let x = \"unsafe\"; // unsafe in a comment\nlet y = 1; /* Ordering::Relaxed */\n",
+        );
+        assert!(!s.contains("unsafe"));
+        assert!(!s.contains("Relaxed"));
+        assert!(s.contains("let y = 1;"));
+        // Line structure is preserved.
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn stripper_keeps_code_outside_literals() {
+        let s = strip_comments_and_strings("unsafe { foo(\"bar\") } // tail\n");
+        assert!(has_unsafe_token(&s));
+        assert!(!s.contains("bar"));
+        assert!(!s.contains("tail"));
+    }
+
+    #[test]
+    fn stripper_handles_lifetimes_and_chars() {
+        let s = strip_comments_and_strings("fn f<'a>(x: &'a str) -> char { 'y' }");
+        assert!(s.contains("fn f<'a>(x: &'a str) -> char"));
+        assert!(!s.contains('y'));
+    }
+
+    #[test]
+    fn unsafe_token_respects_word_boundaries() {
+        assert!(has_unsafe_token("unsafe impl Send for X {}"));
+        assert!(has_unsafe_token("let _ = unsafe { p.read() };"));
+        assert!(!has_unsafe_token("forbid(unsafe_code)"));
+        assert!(!has_unsafe_token("deny(unsafe_op_in_unsafe_fn)"));
+        assert!(!has_unsafe_token("fn not_unsafe_here() {}"));
+    }
+
+    #[test]
+    fn safety_rule_accepts_commented_and_chained_unsafe() {
+        let text = "\
+// SAFETY: both impls hold because T: Send.
+unsafe impl<T: Send> Send for X<T> {}
+unsafe impl<T: Send> Sync for X<T> {}
+
+fn f(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid.
+    unsafe { *p }
+}
+";
+        let code = strip_comments_and_strings(text);
+        let mut v = Vec::new();
+        check_safety_comments("x.rs", text, &code, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn safety_rule_rejects_bare_unsafe() {
+        let text = "fn f(p: *const u8) -> u8 {\n    // reads p\n    unsafe { *p }\n}\n";
+        let code = strip_comments_and_strings(text);
+        let mut v = Vec::new();
+        check_safety_comments("x.rs", text, &code, &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("x.rs:3"));
+    }
+
+    #[test]
+    fn ordering_rule_flags_unlisted_files_only() {
+        let code = "a.load(Ordering::Relaxed); b.load(Ordering::SeqCst);";
+        let mut v = Vec::new();
+        check_ordering_allowlist("crates/foo/src/lib.rs", code, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        v.clear();
+        check_ordering_allowlist("crates/instrument/src/stats.rs", code, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn lint_passes_on_this_workspace() {
+        assert_eq!(lint(), ExitCode::SUCCESS);
+    }
+}
