@@ -20,7 +20,11 @@ fn main() {
     });
 
     let points = plp_bench::msgcost::measure_msgcost(scale);
-    plp_bench::print_tables(&[plp_bench::msgcost::sweep_table(&points)]);
+    let mut tables = vec![plp_bench::msgcost::sweep_table(&points)];
+    if args.iter().any(|a| a == "--full") {
+        tables.push(plp_bench::msgcost::depth_sweep_table(scale));
+    }
+    plp_bench::print_tables(&tables);
 
     if let Some(path) = json_path {
         let doc = plp_bench::msgcost::msgcost_json(&points);

@@ -30,8 +30,8 @@
 
 use std::time::Instant;
 
-use plp_core::reply::{ReplyPromise, ReplySlot};
-use plp_instrument::{Cell, Table};
+use plp_core::reply::{BatchReplyPromise, BatchReplySlot, ReplyPromise, ReplySlot};
+use plp_instrument::{Cell, MsgStatsSnapshot, Table};
 
 use crate::Scale;
 
@@ -47,7 +47,28 @@ pub const DEFAULT_THRESHOLD: f64 = 0.30;
 /// [`check_against_baseline`] for the rationale).
 pub const RATIO_FLOOR: f64 = 1.10;
 
-/// One measured thread-count point.
+/// Hard cap on the batched/lock-free pipelined cost ratio at thread counts
+/// {2, 4}: batching a stage into one message per worker must keep the
+/// per-action cost at or below 0.8x the per-action dispatch.  Both sides of
+/// the ratio come from the *same run*, so the cap is hardware-independent
+/// and gated unconditionally (no baseline needed).
+pub const BATCHED_RATIO_CAP: f64 = 0.8;
+
+/// Floor for the SPSC-lane/lock-free pipelined ratio limit: the fast lane
+/// never fails the gate while it is within 10% of the shared-queue path.
+pub const SPSC_RATIO_FLOOR: f64 = 1.10;
+
+/// Floor for the engine-TATP/lock-free pipelined ratio limit.  The engine
+/// round trip includes action execution, logging and scheduler noise on top
+/// of the raw message exchange, so its run-to-run variance is much larger
+/// than the microbenchmark's; the floor keeps host-load swings from tripping
+/// the gate while still catching a hot-path collapse (which shows up as an
+/// order of magnitude, not tens of percent).
+pub const ENGINE_RATIO_FLOOR: f64 = 30.0;
+
+/// One measured thread-count point.  The `Option` fields were added after
+/// the first committed baselines; parsing tolerates their absence so an old
+/// baseline file still gates the mandatory shapes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MsgCostPoint {
     /// Coordinator thread count (worker count matches).
@@ -56,6 +77,14 @@ pub struct MsgCostPoint {
     pub lockfree_pingpong_ns: f64,
     pub mutex_pipelined_ns: f64,
     pub lockfree_pipelined_ns: f64,
+    /// Pipelined shape with per-worker batched dispatch (one message and one
+    /// reply wakeup per worker per stage).
+    pub batched_pipelined_ns: Option<f64>,
+    /// Pipelined shape dispatching over per-coordinator SPSC fast lanes.
+    pub spsc_pipelined_ns: Option<f64>,
+    /// Engine-level mean per-action round trip from a short TATP burst on
+    /// the real worker hot path (threads 2 and 4 only).
+    pub tatp_roundtrip_ns: Option<f64>,
 }
 
 impl MsgCostPoint {
@@ -69,6 +98,25 @@ impl MsgCostPoint {
     pub fn pipelined_ratio(&self) -> f64 {
         self.lockfree_pipelined_ns / self.mutex_pipelined_ns.max(1e-9)
     }
+
+    /// Batched per-action cost relative to the same run's per-action
+    /// lock-free dispatch (<1 means batching pays).
+    pub fn batched_ratio(&self) -> Option<f64> {
+        Some(self.batched_pipelined_ns? / self.lockfree_pipelined_ns.max(1e-9))
+    }
+
+    /// SPSC-lane per-action cost relative to the same run's shared-queue
+    /// dispatch.
+    pub fn spsc_ratio(&self) -> Option<f64> {
+        Some(self.spsc_pipelined_ns? / self.lockfree_pipelined_ns.max(1e-9))
+    }
+
+    /// Engine-level TATP round trip relative to the same run's raw
+    /// lock-free pipelined message cost (dimensionless, so it transfers
+    /// across hosts better than absolute nanoseconds).
+    pub fn tatp_ratio(&self) -> Option<f64> {
+        Some(self.tatp_roundtrip_ns? / self.lockfree_pipelined_ns.max(1e-9))
+    }
 }
 
 enum MutexRequest {
@@ -78,6 +126,12 @@ enum MutexRequest {
 
 enum LockfreeRequest {
     Echo(u64, ReplyPromise<u64>),
+    Stop,
+}
+
+enum BatchedRequest {
+    /// A whole stage group for this worker: echo every value, reply once.
+    Batch(Vec<u64>, BatchReplyPromise<u64>),
     Stop,
 }
 
@@ -200,6 +254,164 @@ fn run_lockfree(threads: usize, msgs: u64, depth: usize) -> f64 {
     elapsed.as_nanos() as f64 / (msgs * threads as u64) as f64
 }
 
+/// Batched dispatch: the engine's new stage shape.  Each coordinator routes
+/// a stage of `depth` requests round-robin over the workers, then sends ONE
+/// message per worker carrying that worker's whole group and waits on one
+/// batch-reply rendezvous per worker — `depth` actions cost `threads`
+/// messages and `threads` wakeups instead of `depth` of each.
+fn run_lockfree_batched(threads: usize, msgs: u64, depth: usize) -> f64 {
+    use crossbeam::channel as chan;
+    let workers: Vec<(chan::Sender<BatchedRequest>, std::thread::JoinHandle<()>)> = (0..threads)
+        .map(|_| {
+            let (tx, rx) = chan::unbounded::<BatchedRequest>();
+            let handle = std::thread::spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    match req {
+                        BatchedRequest::Batch(values, mut reply) => {
+                            for v in values {
+                                reply.push(v.wrapping_mul(3));
+                            }
+                            reply.finish();
+                        }
+                        BatchedRequest::Stop => break,
+                    }
+                }
+            });
+            (tx, handle)
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..threads {
+            let senders: Vec<chan::Sender<BatchedRequest>> =
+                workers.iter().map(|(tx, _)| tx.clone()).collect();
+            scope.spawn(move || {
+                let mut slots: Vec<BatchReplySlot<u64>> =
+                    (0..threads).map(|_| BatchReplySlot::new()).collect();
+                let mut groups: Vec<Vec<u64>> = vec![Vec::new(); threads];
+                let mut sent = 0u64;
+                let mut rr = c;
+                while sent < msgs {
+                    let batch = depth.min((msgs - sent) as usize);
+                    for _ in 0..batch {
+                        groups[rr % threads].push(sent);
+                        rr += 1;
+                        sent += 1;
+                    }
+                    let mut awaited = Vec::with_capacity(threads);
+                    for (w, group) in groups.iter_mut().enumerate() {
+                        if group.is_empty() {
+                            continue;
+                        }
+                        let promise = slots[w].promise(group.len());
+                        senders[w]
+                            .send(BatchedRequest::Batch(std::mem::take(group), promise))
+                            .expect("worker alive");
+                        awaited.push(w);
+                    }
+                    for w in awaited {
+                        let replies = slots[w].wait().expect("batch reply");
+                        slots[w].recycle(replies);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    for (tx, _) in &workers {
+        let _ = tx.send(BatchedRequest::Stop);
+    }
+    for (tx, handle) in workers {
+        drop(tx);
+        let _ = handle.join();
+    }
+    elapsed.as_nanos() as f64 / (msgs * threads as u64) as f64
+}
+
+/// Per-action dispatch over per-coordinator SPSC fast lanes: same request
+/// and reply protocol as [`run_lockfree`], but every coordinator owns a
+/// single-producer lane to every worker (the engine's per-session lane
+/// topology) and workers drain lanes ahead of the shared queue.
+fn run_lockfree_spsc(threads: usize, msgs: u64, depth: usize) -> f64 {
+    use crossbeam::channel as chan;
+    let workers: Vec<(chan::Sender<LockfreeRequest>, std::thread::JoinHandle<()>)> = (0..threads)
+        .map(|_| {
+            let (tx, rx) = chan::unbounded::<LockfreeRequest>();
+            let handle = std::thread::spawn(move || {
+                let serve = |req: LockfreeRequest| -> bool {
+                    match req {
+                        LockfreeRequest::Echo(v, reply) => {
+                            reply.fulfill(v.wrapping_mul(3));
+                            true
+                        }
+                        LockfreeRequest::Stop => false,
+                    }
+                };
+                'worker: loop {
+                    while let Some(req) = rx.try_recv_lane() {
+                        if !serve(req) {
+                            break 'worker;
+                        }
+                    }
+                    match rx.try_recv() {
+                        Ok(req) => {
+                            if !serve(req) {
+                                break;
+                            }
+                        }
+                        Err(chan::TryRecvError::Empty) => rx.wait_any(),
+                        Err(chan::TryRecvError::Disconnected) => break,
+                    }
+                }
+            });
+            (tx, handle)
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..threads {
+            // Created on this thread, moved into the coordinator: each lane
+            // has exactly one producer for its whole lifetime.
+            let lanes: Vec<chan::LaneSender<LockfreeRequest>> = workers
+                .iter()
+                .map(|(tx, _)| tx.fast_lane(PIPELINE_DEPTH.max(depth).next_power_of_two()))
+                .collect();
+            scope.spawn(move || {
+                let mut pool: Vec<ReplySlot<u64>> = (0..depth).map(|_| ReplySlot::new()).collect();
+                let mut sent = 0u64;
+                let mut rr = c;
+                while sent < msgs {
+                    let batch = depth.min((msgs - sent) as usize);
+                    let mut pending = Vec::with_capacity(batch);
+                    for _ in 0..batch {
+                        let mut slot = pool.pop().expect("pool sized to depth");
+                        let promise = slot.promise();
+                        lanes[rr % lanes.len()]
+                            .send(LockfreeRequest::Echo(sent, promise))
+                            .expect("worker alive");
+                        rr += 1;
+                        sent += 1;
+                        pending.push(slot);
+                    }
+                    for mut slot in pending {
+                        slot.wait().expect("reply");
+                        pool.push(slot);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    for (tx, _) in &workers {
+        let _ = tx.send(LockfreeRequest::Stop);
+    }
+    for (tx, handle) in workers {
+        drop(tx);
+        let _ = handle.join();
+    }
+    elapsed.as_nanos() as f64 / (msgs * threads as u64) as f64
+}
+
 /// Thread counts measured.  Fixed (not derived from the host's core count)
 /// so the committed baseline and a CI run always produce comparable points;
 /// oversubscribed points still measure — the threads block, not busy-wait.
@@ -222,11 +434,12 @@ fn min_of_samples(mut run: impl FnMut() -> f64) -> f64 {
     (0..SAMPLES).map(|_| run()).fold(f64::INFINITY, f64::min)
 }
 
-/// Measure every point of the sweep.
+/// Measure every point of the sweep, including the engine-level TATP round
+/// trip at thread counts 2 and 4.
 pub fn measure_msgcost(scale: Scale) -> Vec<MsgCostPoint> {
     let full = scale.txns_per_thread >= Scale::full().txns_per_thread;
     let msgs: u64 = if full { 20_000 } else { 5_000 };
-    msgcost_thread_counts(full)
+    let mut points: Vec<MsgCostPoint> = msgcost_thread_counts(full)
         .into_iter()
         .map(|threads| {
             // Warm-up pass keeps thread spawn + first-fault noise out.
@@ -239,7 +452,42 @@ pub fn measure_msgcost(scale: Scale) -> Vec<MsgCostPoint> {
                 lockfree_pipelined_ns: min_of_samples(|| {
                     run_lockfree(threads, msgs, PIPELINE_DEPTH)
                 }),
+                batched_pipelined_ns: Some(min_of_samples(|| {
+                    run_lockfree_batched(threads, msgs, PIPELINE_DEPTH)
+                })),
+                spsc_pipelined_ns: Some(min_of_samples(|| {
+                    run_lockfree_spsc(threads, msgs, PIPELINE_DEPTH)
+                })),
+                tatp_roundtrip_ns: None,
             }
+        })
+        .collect();
+    for (threads, msg) in measure_engine_bursts(scale) {
+        if let Some(p) = points.iter_mut().find(|p| p.threads == threads) {
+            p.tatp_roundtrip_ns = Some(msg.mean_roundtrip_nanos());
+        }
+    }
+    points
+}
+
+/// Run a short TATP burst on the partitioned design at thread counts 2 and 4
+/// and return each run's message-passing counters (the real worker hot path:
+/// batched dispatch over SPSC lanes with pooled replies).
+fn measure_engine_bursts(scale: Scale) -> Vec<(usize, MsgStatsSnapshot)> {
+    use plp_core::{Design, EngineConfig};
+    use plp_workloads::driver::{prepare_engine, run_fixed};
+    use plp_workloads::tatp::Tatp;
+
+    let tatp = Tatp::new(scale.subscribers);
+    [2usize, 4]
+        .into_iter()
+        .map(|threads| {
+            let config = EngineConfig::new(Design::PlpRegular)
+                .with_partitions(threads)
+                .with_fanout(128);
+            let engine = prepare_engine(config, &tatp);
+            let r = run_fixed(&engine, &tatp, threads, scale.txns_per_thread, 0x115C);
+            (threads, r.stats.msg)
         })
         .collect()
 }
@@ -257,8 +505,14 @@ pub fn sweep_table(points: &[MsgCostPoint]) -> Table {
             "mutex pipelined",
             "lock-free pipelined",
             "ratio ",
+            "batched",
+            "vs lock-free",
+            "spsc lane",
+            "vs lock-free ",
         ],
     );
+    let opt_ns = |v: Option<f64>| v.map_or(Cell::Empty, |ns| Cell::FloatPrec(ns, 0));
+    let opt_ratio = |v: Option<f64>| v.map_or(Cell::Empty, |r| Cell::FloatPrec(r, 3));
     for p in points {
         sweep.row(vec![
             Cell::from(p.threads),
@@ -268,54 +522,94 @@ pub fn sweep_table(points: &[MsgCostPoint]) -> Table {
             Cell::FloatPrec(p.mutex_pipelined_ns, 0),
             Cell::FloatPrec(p.lockfree_pipelined_ns, 0),
             Cell::FloatPrec(p.pipelined_ratio(), 3),
+            opt_ns(p.batched_pipelined_ns),
+            opt_ratio(p.batched_ratio()),
+            opt_ns(p.spsc_pipelined_ns),
+            opt_ratio(p.spsc_ratio()),
         ]);
     }
     sweep
 }
 
+/// Depth sweep: per-action cost of the per-action vs batched dispatch as the
+/// stage's pipeline depth grows.  Nightly-only material (not gated): shows
+/// where batching starts to pay and that depth-1 stays near the per-action
+/// path's cost.
+pub fn depth_sweep_table(scale: Scale) -> Table {
+    let full = scale.txns_per_thread >= Scale::full().txns_per_thread;
+    let msgs: u64 = if full { 20_000 } else { 2_000 };
+    let mut table = Table::new(
+        "Message cost — threads x pipeline depth, per-action dispatch vs batched (ns)",
+        &[
+            "threads",
+            "depth",
+            "lock-free",
+            "batched",
+            "ratio",
+            "spsc lane",
+        ],
+    );
+    for threads in [2usize, 4] {
+        for depth in [1usize, 4, 16, 64] {
+            let lockfree = min_of_samples(|| run_lockfree(threads, msgs, depth));
+            let batched = min_of_samples(|| run_lockfree_batched(threads, msgs, depth));
+            let spsc = min_of_samples(|| run_lockfree_spsc(threads, msgs, depth));
+            table.row(vec![
+                Cell::from(threads),
+                Cell::from(depth),
+                Cell::FloatPrec(lockfree, 0),
+                Cell::FloatPrec(batched, 0),
+                Cell::FloatPrec(batched / lockfree.max(1e-9), 3),
+                Cell::FloatPrec(spsc, 0),
+            ]);
+        }
+    }
+    table
+}
+
 /// The experiment: the channel sweep plus an engine-level round-trip table
-/// (the new instrumentation measuring the real worker hot path).
+/// (the new instrumentation measuring the real worker hot path); at full
+/// scale, also the threads x depth sweep for the nightly trend artifact.
 pub fn fig_msgcost(scale: Scale) -> Vec<Table> {
     let points = measure_msgcost(scale);
-    vec![sweep_table(&points), engine_roundtrip_table(scale)]
+    let full = scale.txns_per_thread >= Scale::full().txns_per_thread;
+    let mut tables = vec![sweep_table(&points), engine_roundtrip_table(scale)];
+    if full {
+        tables.push(depth_sweep_table(scale));
+    }
+    tables
 }
 
 /// Engine-level view: run a short TATP burst on the partitioned design and
-/// report the per-action round-trip cost the coordinator actually observed,
-/// plus the queue slow-path counters and the reply-pool hit rate.
+/// report the per-message round-trip cost the coordinator actually observed,
+/// the batching profile (messages per stage, actions per batch, SPSC lane
+/// hit rate), the queue slow-path counters and the reply-pool hit rate.
 fn engine_roundtrip_table(scale: Scale) -> Table {
-    use plp_core::{Design, EngineConfig};
-    use plp_workloads::driver::{prepare_engine, run_fixed};
-    use plp_workloads::tatp::Tatp;
-
     let mut table = Table::new(
-        "Message cost — engine-level per-action round trip (PLP-Regular, TATP)",
+        "Message cost — engine-level round trip (PLP-Regular, TATP, batched + SPSC lanes)",
         &[
             "clients",
-            "actions",
+            "messages",
             "mean round trip ns",
-            "queue spins/action",
-            "parks/action",
-            "wakeups/action",
+            "actions/batch",
+            "lane hit rate",
+            "queue spins/msg",
+            "parks/msg",
+            "wakeups/msg",
             "reply pool hit rate",
         ],
     );
-    let tatp = Tatp::new(scale.subscribers);
-    for threads in [2usize, 4] {
-        let config = EngineConfig::new(Design::PlpRegular)
-            .with_partitions(threads)
-            .with_fanout(128);
-        let engine = prepare_engine(config, &tatp);
-        let r = run_fixed(&engine, &tatp, threads, scale.txns_per_thread, 0x115C);
-        let m = r.stats.msg;
-        let actions = m.actions.max(1) as f64;
+    for (threads, m) in measure_engine_bursts(scale) {
+        let messages = m.actions.max(1) as f64;
         table.row(vec![
             Cell::from(threads),
             Cell::from(m.actions),
             Cell::FloatPrec(m.mean_roundtrip_nanos(), 0),
-            Cell::FloatPrec((m.enqueue_spins + m.dequeue_spins) as f64 / actions, 3),
-            Cell::FloatPrec(m.parks as f64 / actions, 3),
-            Cell::FloatPrec(m.wakeups as f64 / actions, 3),
+            Cell::FloatPrec(m.mean_actions_per_batch(), 2),
+            Cell::FloatPrec(m.lane_hit_rate(), 3),
+            Cell::FloatPrec((m.enqueue_spins + m.dequeue_spins) as f64 / messages, 3),
+            Cell::FloatPrec(m.parks as f64 / messages, 3),
+            Cell::FloatPrec(m.wakeups as f64 / messages, 3),
             Cell::FloatPrec(m.reply_pool_hit_rate(), 3),
         ]);
     }
@@ -332,10 +626,10 @@ pub fn msgcost_json(points: &[MsgCostPoint]) -> String {
     let body: Vec<String> = points
         .iter()
         .map(|p| {
-            format!(
+            let mut obj = format!(
                 "{{\"threads\":{},\"mutex_pingpong_ns\":{:.1},\"lockfree_pingpong_ns\":{:.1},\
                  \"mutex_pipelined_ns\":{:.1},\"lockfree_pipelined_ns\":{:.1},\
-                 \"pingpong_ratio\":{:.4},\"pipelined_ratio\":{:.4}}}",
+                 \"pingpong_ratio\":{:.4},\"pipelined_ratio\":{:.4}",
                 p.threads,
                 p.mutex_pingpong_ns,
                 p.lockfree_pingpong_ns,
@@ -343,7 +637,21 @@ pub fn msgcost_json(points: &[MsgCostPoint]) -> String {
                 p.lockfree_pipelined_ns,
                 p.pingpong_ratio(),
                 p.pipelined_ratio()
-            )
+            );
+            for (key, value) in [
+                ("batched_pipelined_ns", p.batched_pipelined_ns),
+                ("batched_ratio", p.batched_ratio()),
+                ("spsc_pipelined_ns", p.spsc_pipelined_ns),
+                ("spsc_ratio", p.spsc_ratio()),
+                ("tatp_roundtrip_ns", p.tatp_roundtrip_ns),
+                ("tatp_ratio", p.tatp_ratio()),
+            ] {
+                if let Some(v) = value {
+                    obj.push_str(&format!(",\"{key}\":{v:.4}"));
+                }
+            }
+            obj.push('}');
+            obj
         })
         .collect();
     format!(
@@ -388,6 +696,10 @@ pub fn parse_msgcost_json(doc: &str) -> Result<Vec<MsgCostPoint>, String> {
             lockfree_pingpong_ns: get("lockfree_pingpong_ns")?,
             mutex_pipelined_ns: get("mutex_pipelined_ns")?,
             lockfree_pipelined_ns: get("lockfree_pipelined_ns")?,
+            // Added after the first committed baselines; absent in old docs.
+            batched_pipelined_ns: json_number(obj, "batched_pipelined_ns"),
+            spsc_pipelined_ns: json_number(obj, "spsc_pipelined_ns"),
+            tatp_roundtrip_ns: json_number(obj, "tatp_roundtrip_ns"),
         });
     }
     if points.is_empty() {
@@ -446,6 +758,54 @@ pub fn check_against_baseline(
                 report.push(format!("ok {line}"));
             }
         }
+        // Batched dispatch: both sides of the ratio come from the same run,
+        // so a hard, baseline-free cap is enforceable on any hardware.  Only
+        // gated at thread counts 2 and 4 (the committed perf criterion);
+        // other points are reported for the trend artifact.
+        if let Some(cur_ratio) = cur.batched_ratio() {
+            let gated = matches!(base.threads, 2 | 4);
+            let line = format!(
+                "threads={} batched: ratio {cur_ratio:.3} vs same-run per-action dispatch (cap {BATCHED_RATIO_CAP:.2})",
+                base.threads
+            );
+            if gated && cur_ratio > BATCHED_RATIO_CAP {
+                failures.push(format!("REGRESSION {line}"));
+            } else {
+                report.push(format!("ok {line}"));
+            }
+        }
+        // SPSC lane and engine-level TATP shapes: regression-gated against
+        // the baseline when both sides measured them (each ratio is against
+        // the same run's lock-free pipelined cost, so it transfers across
+        // hosts), with shape-specific parity floors.
+        for (shape, cur_ratio, base_ratio, floor) in [
+            (
+                "spsc",
+                cur.spsc_ratio(),
+                base.spsc_ratio(),
+                SPSC_RATIO_FLOOR,
+            ),
+            (
+                "engine-tatp",
+                cur.tatp_ratio(),
+                base.tatp_ratio(),
+                ENGINE_RATIO_FLOOR,
+            ),
+        ] {
+            let (Some(cur_ratio), Some(base_ratio)) = (cur_ratio, base_ratio) else {
+                continue;
+            };
+            let limit = (base_ratio * (1.0 + threshold) + 0.02).max(floor);
+            let line = format!(
+                "threads={} {shape}: ratio {cur_ratio:.3} vs baseline {base_ratio:.3} (limit {limit:.3})",
+                base.threads
+            );
+            if cur_ratio > limit {
+                failures.push(format!("REGRESSION {line}"));
+            } else {
+                report.push(format!("ok {line}"));
+            }
+        }
     }
     for cur in current {
         if !baseline.iter().any(|b| b.threads == cur.threads) {
@@ -477,7 +837,20 @@ mod tests {
             lockfree_pingpong_ns: 1000.0 * ratio,
             mutex_pipelined_ns: 500.0,
             lockfree_pipelined_ns: 500.0 * ratio,
+            batched_pipelined_ns: None,
+            spsc_pipelined_ns: None,
+            tatp_roundtrip_ns: None,
         }
+    }
+
+    /// A point with every optional shape populated: batched/spsc/tatp at the
+    /// given ratios of its lock-free pipelined cost.
+    fn full_point(threads: usize, batched: f64, spsc: f64, tatp: f64) -> MsgCostPoint {
+        let mut p = point(threads, 0.8);
+        p.batched_pipelined_ns = Some(p.lockfree_pipelined_ns * batched);
+        p.spsc_pipelined_ns = Some(p.lockfree_pipelined_ns * spsc);
+        p.tatp_roundtrip_ns = Some(p.lockfree_pipelined_ns * tatp);
+        p
     }
 
     #[test]
@@ -489,6 +862,54 @@ mod tests {
         assert_eq!(parsed[0].threads, 1);
         assert!((parsed[0].pingpong_ratio() - 0.8).abs() < 1e-3);
         assert!((parsed[1].pipelined_ratio() - 0.5).abs() < 1e-3);
+        assert_eq!(parsed[0].batched_pipelined_ns, None);
+    }
+
+    #[test]
+    fn json_roundtrip_with_optional_shapes() {
+        let points = vec![full_point(2, 0.4, 0.9, 12.0)];
+        let parsed = parse_msgcost_json(&msgcost_json(&points)).unwrap();
+        assert!((parsed[0].batched_ratio().unwrap() - 0.4).abs() < 1e-3);
+        assert!((parsed[0].spsc_ratio().unwrap() - 0.9).abs() < 1e-3);
+        assert!((parsed[0].tatp_ratio().unwrap() - 12.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gate_enforces_batched_cap_at_gated_thread_counts() {
+        // Within the cap: passes even with no batched data in the baseline.
+        let baseline = vec![point(2, 0.8)];
+        let good = vec![full_point(2, 0.5, 0.9, 10.0)];
+        assert!(check_against_baseline(&good, &baseline, 0.30).is_ok());
+        // Past the cap at threads=2: fails regardless of the baseline.
+        let bad = vec![full_point(2, 0.95, 0.9, 10.0)];
+        let err = check_against_baseline(&bad, &baseline, 0.30).unwrap_err();
+        assert!(err
+            .iter()
+            .any(|l| l.contains("REGRESSION") && l.contains("batched")));
+        // Past the cap at an ungated thread count: reported, not failed.
+        let ungated = vec![full_point(1, 0.95, 0.9, 10.0)];
+        assert!(check_against_baseline(&ungated, &[point(1, 0.8)], 0.30).is_ok());
+    }
+
+    #[test]
+    fn gate_checks_optional_shapes_only_when_both_sides_have_them() {
+        let baseline = vec![full_point(2, 0.5, 0.8, 10.0)];
+        // Old-format current run (no optional shapes): mandatory gating only.
+        assert!(check_against_baseline(&[point(2, 0.8)], &baseline, 0.30).is_ok());
+        // An engine-TATP blow-up past both the relative limit and the
+        // generous floor fails...
+        let blown = vec![full_point(2, 0.5, 0.8, 100.0)];
+        let err = check_against_baseline(&blown, &baseline, 0.30).unwrap_err();
+        assert!(err.iter().any(|l| l.contains("engine-tatp")));
+        // ...while host-load jitter under the floor passes.
+        let jitter = vec![full_point(2, 0.5, 0.8, 25.0)];
+        assert!(check_against_baseline(&jitter, &baseline, 0.30).is_ok());
+        // The SPSC lane is floored at shared-queue parity.
+        let lane_parity = vec![full_point(2, 0.5, 1.08, 10.0)];
+        assert!(check_against_baseline(&lane_parity, &baseline, 0.30).is_ok());
+        let lane_regressed = vec![full_point(2, 0.5, 1.4, 10.0)];
+        let err = check_against_baseline(&lane_regressed, &baseline, 0.30).unwrap_err();
+        assert!(err.iter().any(|l| l.contains("spsc")));
     }
 
     #[test]
@@ -550,10 +971,15 @@ mod tests {
             lockfree_pingpong_ns: run_lockfree(2, 50, 1),
             mutex_pipelined_ns: run_mutex(2, 100, 8),
             lockfree_pipelined_ns: run_lockfree(2, 100, 8),
+            batched_pipelined_ns: Some(run_lockfree_batched(2, 100, 8)),
+            spsc_pipelined_ns: Some(run_lockfree_spsc(2, 100, 8)),
+            tatp_roundtrip_ns: None,
         };
         assert!(p.mutex_pingpong_ns > 0.0);
         assert!(p.lockfree_pingpong_ns > 0.0);
         assert!(p.mutex_pipelined_ns > 0.0);
         assert!(p.lockfree_pipelined_ns > 0.0);
+        assert!(p.batched_pipelined_ns.unwrap() > 0.0);
+        assert!(p.spsc_pipelined_ns.unwrap() > 0.0);
     }
 }

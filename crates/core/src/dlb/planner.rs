@@ -72,9 +72,11 @@ impl LoadSnapshot {
 
     /// Propose `partitions` boundaries (multiples of `granularity`, first one
     /// fixed to `first`) that give every partition roughly equal access mass.
-    /// Cuts interpolate linearly inside fine slots, so a hot range narrower
-    /// than one coarse bucket can still be split — provided the histogram has
-    /// refined it.
+    /// Cuts interpolate inside fine slots using a mass-weighted density model
+    /// (see [`Self::cut_within_slot`]), so a hot range narrower than one
+    /// coarse bucket can still be split — and skewed (Zipfian) mass inside a
+    /// bucket pulls the cut toward the bucket's heavy edge instead of
+    /// assuming the mass is spread uniformly.
     pub fn plan_bounds(&self, partitions: usize, granularity: u64, first: u64) -> Vec<u64> {
         let p = partitions.max(1);
         let g = granularity.max(1);
@@ -101,20 +103,62 @@ impl LoadSnapshot {
             let cut = if slot >= self.weights.len() {
                 self.key_space
             } else {
-                let (lo, hi) = self.slot_range(slot);
-                let w = self.weights[slot];
-                if w == 0 || hi <= lo {
-                    lo
-                } else {
-                    // Interpolate the cut position inside the slot.
-                    let frac = (target - cum) as f64 / w as f64;
-                    lo + ((hi - lo) as f64 * frac) as u64
-                }
+                self.cut_within_slot(slot, (target - cum) as f64)
             };
             let snapped = (cut / g * g).max(bounds[k - 1] + g);
             bounds.push(snapped);
         }
         bounds
+    }
+
+    /// Position inside `slot` where the cumulative mass from the slot's left
+    /// edge reaches `need` (`0 <= need <= weights[slot]`).
+    ///
+    /// The histogram only records one total per slot; *where* that mass sits
+    /// inside the slot is reconstructed from the neighbors.  Under a skewed
+    /// (Zipfian) key distribution adjacent slots differ by large factors and
+    /// the density inside a single head slot spans orders of magnitude, so
+    /// assuming uniform intra-slot mass systematically misplaces cuts toward
+    /// the slot's light edge.  Power laws are locally log-linear, so model
+    /// the intra-slot density as exponential, `density(t) ∝ r^t` over
+    /// `t ∈ [0, 1]`, with the per-slot decay ratio `r` estimated as the
+    /// geometric mean of the two adjacent inter-slot ratios, and invert the
+    /// cumulative curve `C(t) = w · (1 − r^t)/(1 − r)` analytically.
+    fn cut_within_slot(&self, slot: usize, need: f64) -> u64 {
+        let (lo, hi) = self.slot_range(slot);
+        let w = self.weights[slot] as f64;
+        if w <= 0.0 || hi <= lo {
+            return lo;
+        }
+        let span = (hi - lo) as f64;
+        let q = (need / w).clamp(0.0, 1.0);
+        let prev = slot
+            .checked_sub(1)
+            .map(|s| self.weights[s] as f64)
+            .filter(|&x| x > 0.0);
+        let next = self
+            .weights
+            .get(slot + 1)
+            .map(|&x| x as f64)
+            .filter(|&x| x > 0.0);
+        // Clamped so one empty-ish neighbor cannot push the model into
+        // numeric extremes; at 1e3 per slot the cut already sits hard
+        // against the heavy edge.
+        let r = match (prev, next) {
+            (Some(p), Some(n)) => (n / p).sqrt(),
+            (Some(p), None) => w / p,
+            (None, Some(n)) => n / w,
+            (None, None) => 1.0,
+        }
+        .clamp(1e-3, 1e3);
+        let ln_r = r.ln();
+        let t = if ln_r.abs() < 1e-6 {
+            // Flat neighborhood: the exponential degenerates to uniform.
+            q
+        } else {
+            (1.0 - q * (1.0 - r)).ln() / ln_r
+        };
+        lo + (span * t.clamp(0.0, 1.0)) as u64
     }
 }
 
@@ -313,6 +357,82 @@ mod tests {
         for &b in &bounds {
             assert_eq!(b % 32, 0, "granularity-aligned: {bounds:?}");
         }
+    }
+
+    /// The old uniform-intra-slot interpolation, kept for comparison: the
+    /// mass-weighted planner must do no worse on skewed distributions.
+    fn plan_bounds_uniform_intra_slot(
+        snap: &LoadSnapshot,
+        partitions: usize,
+        granularity: u64,
+        first: u64,
+    ) -> Vec<u64> {
+        let total = snap.total();
+        let mut bounds = vec![first];
+        let (mut cum, mut slot) = (0u64, 0usize);
+        for k in 1..partitions {
+            let target = (total as u128 * k as u128 / partitions as u128) as u64;
+            while slot < snap.weights.len() && cum + snap.weights[slot] < target {
+                cum += snap.weights[slot];
+                slot += 1;
+            }
+            let n = snap.weights.len() as u128;
+            let lo = (slot as u128 * snap.key_space as u128 / n) as u64;
+            let hi = ((slot + 1) as u128 * snap.key_space as u128 / n) as u64;
+            let w = snap.weights[slot];
+            let frac = (target - cum) as f64 / w.max(1) as f64;
+            let cut = lo + ((hi - lo) as f64 * frac) as u64;
+            let snapped = (cut / granularity * granularity).max(bounds[k - 1] + granularity);
+            bounds.push(snapped);
+        }
+        bounds
+    }
+
+    #[test]
+    fn zipfian_cuts_beat_uniform_interpolation() {
+        // Ground truth: Zipf(s = 1.1) access mass over 4096 fine keys.  The
+        // DLB only ever sees the 16-slot coarse histogram of it, so every
+        // cut inside the head bucket depends on the intra-slot model.
+        let fine: Vec<u64> = (0..4096u32)
+            .map(|f| (1.0e7 / f64::from(f + 1).powf(1.1)) as u64)
+            .collect();
+        let truth = LoadSnapshot::new(4096, fine.clone());
+        let coarse: Vec<u64> = fine.chunks(256).map(|c| c.iter().sum()).collect();
+        let snap = LoadSnapshot::new(4096, coarse);
+
+        let weighted = snap.plan_bounds(8, 1, 0);
+        let uniform = plan_bounds_uniform_intra_slot(&snap, 8, 1, 0);
+        // Judge both proposals against the true fine-grained distribution.
+        // Overall imbalance is floored by the irreducible mass of the single
+        // hottest key, so measure cut *placement*: how far each boundary's
+        // true cumulative mass lands from its ideal equal-mass quantile.
+        let quantile_error = |bounds: &[u64]| -> f64 {
+            let total = truth.total() as f64;
+            bounds
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(k, &b)| {
+                    let ideal = total * k as f64 / bounds.len() as f64;
+                    (truth.mass_between(0, b) - ideal).abs()
+                })
+                .sum::<f64>()
+                / total
+        };
+        let weighted_imb = imbalance(&truth.partition_loads(&weighted));
+        let uniform_imb = imbalance(&truth.partition_loads(&uniform));
+        assert!(
+            weighted_imb <= uniform_imb,
+            "mass-weighted cuts ({weighted_imb:.3}) must not lose to uniform \
+             interpolation ({uniform_imb:.3}) on a Zipfian histogram"
+        );
+        let weighted_err = quantile_error(&weighted);
+        let uniform_err = quantile_error(&uniform);
+        assert!(
+            weighted_err < 0.8 * uniform_err,
+            "mass-weighted cuts should land meaningfully closer to the true \
+             equal-mass quantiles: error {weighted_err:.4} vs {uniform_err:.4}"
+        );
     }
 
     #[test]

@@ -11,15 +11,16 @@ use plp_lock::AgentLockCache;
 use plp_txn::Transaction;
 use plp_wal::{CheckpointData, Lsn};
 
-use crate::action::{ActionOutput, TransactionPlan};
+use crate::action::{ActionFn, ActionOutput, TransactionPlan};
 use crate::catalog::{Design, EngineConfig, TableId, TableSpec};
 use crate::ctx::ConventionalCtx;
 use crate::database::Database;
 use crate::dlb::{HistogramSet, LoadBalancerHandle};
 use crate::error::EngineError;
 use crate::partition::PartitionManager;
-use crate::reply::ReplySlot;
-use crate::worker::ActionReply;
+use crate::reply::{BatchReplySlot, ReplySlot};
+use crate::worker::{ActionReply, WorkerRequest};
+use crossbeam::channel::LaneSender;
 
 /// A running instance of one execution design over one database.
 pub struct Engine {
@@ -327,6 +328,8 @@ impl Engine {
             engine: self,
             sli,
             reply_pool: Vec::new(),
+            batch_pool: Vec::new(),
+            lanes: Vec::new(),
         }
     }
 
@@ -460,6 +463,10 @@ impl std::fmt::Debug for Engine {
 /// state while bounding a pathological stage's footprint.
 const REPLY_POOL_MAX: usize = 128;
 
+/// How many pooled batch-reply slots a session keeps.  At most one batch per
+/// worker is in flight per stage, so this only needs to cover the fan-out.
+const BATCH_POOL_MAX: usize = 16;
+
 /// Per-client-thread execution handle.
 pub struct Session<'e> {
     engine: &'e Engine,
@@ -467,6 +474,28 @@ pub struct Session<'e> {
     /// Recycled reply rendezvous for the partitioned hot path: after warm-up
     /// every action dispatch reuses a slot instead of allocating a channel.
     reply_pool: Vec<ReplySlot<ActionReply>>,
+    /// Recycled batch rendezvous (slot plus its reply `Vec`), same idea.
+    batch_pool: Vec<BatchReplySlot<ActionReply>>,
+    /// One SPSC fast lane per worker, created on the first partitioned
+    /// dispatch.  The session is the lane's unique producer; the worker
+    /// drains lanes ahead of the shared MPMC queue.
+    lanes: Vec<LaneSender<WorkerRequest>>,
+}
+
+/// One in-flight dispatch of the current stage: either a single action or a
+/// whole per-worker batch, remembered with the stage indices its replies
+/// scatter back into.
+enum Pending {
+    Single {
+        index: usize,
+        slot: ReplySlot<ActionReply>,
+        sent_at: Instant,
+    },
+    Batch {
+        indices: Vec<usize>,
+        slot: BatchReplySlot<ActionReply>,
+        sent_at: Instant,
+    },
 }
 
 impl Session<'_> {
@@ -519,15 +548,20 @@ impl Session<'_> {
                 let mut ctx = ConventionalCtx::new(db, txn, self.sli.as_mut(), db.breakdown());
                 stage_outputs.push((action.run)(&mut ctx)?);
             }
-            all_outputs.extend(stage_outputs.iter().cloned());
+            // Plan the next stage (it borrows this stage's outputs), then
+            // move the outputs into the transaction result — no clones.
             match plan.then {
                 Some(cont) => {
                     plan = cont(&stage_outputs);
+                    all_outputs.extend(stage_outputs);
                     if plan.actions.is_empty() && plan.then.is_none() {
                         break;
                     }
                 }
-                None => break,
+                None => {
+                    all_outputs.extend(stage_outputs);
+                    break;
+                }
             }
         }
         txn.set_action_count(total_actions);
@@ -550,9 +584,19 @@ impl Session<'_> {
         // before moving ownership, so no stage ever runs under boundaries
         // different from its predecessors'.
         let _ticket = pm.txn_ticket();
+        // Lazily wire one SPSC fast lane per worker; the worker count is
+        // fixed for the engine's lifetime, so this runs once per session.
+        if self.lanes.len() != pm.worker_count() {
+            self.lanes = (0..pm.worker_count())
+                .map(|i| pm.worker(i).fast_lane())
+                .collect();
+        }
         let mut all_outputs = Vec::new();
         let mut total_actions = 0u32;
-        let mut abort: Option<EngineError> = None;
+        // The lowest-indexed failing action of the current stage (a
+        // deterministic choice that does not depend on how actions were
+        // grouped into batches).
+        let mut abort: Option<(usize, EngineError)> = None;
         loop {
             // Dispatch the whole stage, then wait at the rendezvous point.
             // The dispatch guard pins the routing tables for the route+send
@@ -560,59 +604,162 @@ impl Session<'_> {
             // slip between routing an action and enqueueing it; it is
             // dropped before blocking on replies.
             let stats = db.stats();
-            let mut pending: Vec<(ReplySlot<ActionReply>, Instant)> =
-                Vec::with_capacity(plan.actions.len());
+            let num_actions = plan.actions.len();
+            let mut pending: Vec<Pending> = Vec::new();
             {
                 let _gate = pm.dispatch_guard();
-                for action in plan.actions {
+                // Group the stage's actions by routed worker: each worker
+                // gets ONE message (and one reply wakeup) per stage instead
+                // of one per action.  Stage fan-out is small, so a linear
+                // scan beats a map.
+                let mut groups: Vec<(usize, Vec<usize>, Vec<ActionFn>)> = Vec::new();
+                for (index, action) in plan.actions.into_iter().enumerate() {
                     total_actions += 1;
                     let worker = pm.route(action.table, action.routing_key);
-                    let mut slot = match self.reply_pool.pop() {
-                        Some(slot) => {
-                            stats.msg().reply_reused();
-                            slot
+                    match groups.iter_mut().find(|g| g.0 == worker) {
+                        Some(g) => {
+                            g.1.push(index);
+                            g.2.push(action.run);
                         }
-                        None => {
-                            stats.msg().reply_allocated();
-                            ReplySlot::new()
-                        }
-                    };
-                    pm.worker(worker)
-                        .send_action(txn.id(), action.run, &mut slot, stats.as_ref());
-                    pending.push((slot, Instant::now()));
+                        None => groups.push((worker, vec![index], vec![action.run])),
+                    }
+                }
+                for (worker, indices, mut actions) in groups {
+                    let lane = self.lanes.get(worker);
+                    if actions.len() == 1 {
+                        // Singleton groups keep the cheaper per-action slot.
+                        let mut slot = match self.reply_pool.pop() {
+                            Some(slot) => {
+                                stats.msg().reply_reused();
+                                slot
+                            }
+                            None => {
+                                stats.msg().reply_allocated();
+                                ReplySlot::new()
+                            }
+                        };
+                        let run = actions.pop().expect("singleton group");
+                        let fast = pm.worker(worker).send_action(
+                            txn.id(),
+                            run,
+                            &mut slot,
+                            lane,
+                            stats.as_ref(),
+                        );
+                        stats.msg().dispatch_sent(fast);
+                        pending.push(Pending::Single {
+                            index: indices[0],
+                            slot,
+                            sent_at: Instant::now(),
+                        });
+                    } else {
+                        let mut slot = match self.batch_pool.pop() {
+                            Some(slot) => {
+                                stats.msg().reply_reused();
+                                slot
+                            }
+                            None => {
+                                stats.msg().reply_allocated();
+                                BatchReplySlot::new()
+                            }
+                        };
+                        let batched = actions.len() as u64;
+                        let fast = pm.worker(worker).send_batch(
+                            txn.id(),
+                            actions,
+                            &mut slot,
+                            lane,
+                            stats.as_ref(),
+                        );
+                        stats.msg().batch_sent(batched, fast);
+                        pending.push(Pending::Batch {
+                            indices,
+                            slot,
+                            sent_at: Instant::now(),
+                        });
+                    }
                 }
             }
-            let mut stage_outputs = Vec::with_capacity(pending.len());
-            for (mut slot, sent_at) in pending {
-                let reply = slot.wait();
-                stats.msg().roundtrip(sent_at.elapsed().as_nanos() as u64);
-                if self.reply_pool.len() < REPLY_POOL_MAX {
-                    self.reply_pool.push(slot);
-                }
-                let ActionReply { result, log } = reply.map_err(|_| EngineError::Shutdown)?;
+            // Scatter replies back into stage order by original index.
+            let mut stage_slots: Vec<Option<ActionOutput>> = Vec::with_capacity(num_actions);
+            stage_slots.resize_with(num_actions, || None);
+            let mut consume = |index: usize,
+                               reply: ActionReply,
+                               stage_slots: &mut Vec<Option<ActionOutput>>,
+                               txn: &mut Transaction| {
+                let ActionReply { result, log } = reply;
                 // Merge the action's log records into the transaction so the
                 // commit record covers them (one consolidated insert).
                 for record in log {
                     db.log_manager().log_record(txn.log_handle_mut(), record);
                 }
                 match result {
-                    Ok(out) => stage_outputs.push(out),
-                    Err(e) => abort = Some(e),
+                    Ok(out) => stage_slots[index] = Some(out),
+                    Err(e) => {
+                        if abort.as_ref().is_none_or(|(i, _)| index < *i) {
+                            abort = Some((index, e));
+                        }
+                    }
+                }
+            };
+            for p in pending {
+                match p {
+                    Pending::Single {
+                        index,
+                        mut slot,
+                        sent_at,
+                    } => {
+                        let reply = slot.wait();
+                        stats.msg().roundtrip(sent_at.elapsed().as_nanos() as u64);
+                        if self.reply_pool.len() < REPLY_POOL_MAX {
+                            self.reply_pool.push(slot);
+                        }
+                        let reply = reply.map_err(|_| EngineError::Shutdown)?;
+                        consume(index, reply, &mut stage_slots, txn);
+                    }
+                    Pending::Batch {
+                        indices,
+                        mut slot,
+                        sent_at,
+                    } => {
+                        let replies = slot.wait();
+                        stats.msg().roundtrip(sent_at.elapsed().as_nanos() as u64);
+                        let mut replies = replies.map_err(|_| EngineError::Shutdown)?;
+                        debug_assert_eq!(replies.len(), indices.len(), "one reply per action");
+                        for (index, reply) in indices.iter().copied().zip(replies.drain(..)) {
+                            consume(index, reply, &mut stage_slots, txn);
+                        }
+                        // Hand the (now empty) reply Vec back to the slot so
+                        // the next batch reuses its capacity.
+                        slot.recycle(replies);
+                        if self.batch_pool.len() < BATCH_POOL_MAX {
+                            self.batch_pool.push(slot);
+                        }
+                    }
                 }
             }
-            if let Some(e) = abort {
+            if let Some((_, e)) = abort {
                 txn.set_action_count(total_actions);
                 return Err(e);
             }
-            all_outputs.extend(stage_outputs.iter().cloned());
+            let stage_outputs: Vec<ActionOutput> = stage_slots
+                .into_iter()
+                .map(|o| o.expect("no abort, so every action produced an output"))
+                .collect();
+            // Plan the next stage (it borrows this stage's outputs), then
+            // move the outputs into the transaction result — no clones.
             match plan.then {
                 Some(cont) => {
                     plan = cont(&stage_outputs);
+                    all_outputs.extend(stage_outputs);
                     if plan.actions.is_empty() && plan.then.is_none() {
                         break;
                     }
                 }
-                None => break,
+                None => {
+                    all_outputs.extend(stage_outputs);
+                    break;
+                }
             }
         }
         txn.set_action_count(total_actions);

@@ -31,6 +31,7 @@ pub mod partition;
 pub(crate) mod primitives;
 pub mod reply;
 pub mod table;
+pub mod topology;
 pub mod worker;
 
 pub use action::{Action, ActionOutput, DataContext, TransactionPlan};

@@ -111,9 +111,21 @@ impl Drop for DrainGuard<'_> {
 
 impl PartitionManager {
     /// Spawn one worker per partition and build uniform routing tables.
+    ///
+    /// With [`EngineConfig::with_pinning`] enabled, workers are placed on
+    /// CPUs island-by-island (adjacent partitions share a socket/NUMA node)
+    /// so coordinator↔worker message traffic stays cache-local; pinning is
+    /// best-effort and silently degrades on restricted hosts.
+    ///
+    /// [`EngineConfig::with_pinning`]: crate::catalog::EngineConfig::with_pinning
     pub fn new(db: Arc<Database>, design: Design, partitions: usize) -> Self {
+        let placement = if db.config().pin_workers {
+            crate::topology::CpuTopology::detect().placement(partitions)
+        } else {
+            Vec::new()
+        };
         let workers = (0..partitions)
-            .map(|i| WorkerHandle::spawn(i, db.clone(), design))
+            .map(|i| WorkerHandle::spawn(i, db.clone(), design, placement.get(i).copied()))
             .collect();
         let mut routing = HashMap::new();
         for table in db.tables() {

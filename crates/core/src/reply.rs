@@ -51,6 +51,23 @@
 //! uptime, so wraparound is not defended against.  The model tests below
 //! pin the realistic reuse race (a stale fulfiller one round behind).
 //!
+//! # Batch framing
+//!
+//! Batched dispatch (one [`crate::worker::WorkerRequest::Batch`] per
+//! (worker, stage)) rides the same protocol: a [`BatchReplySlot`] is a
+//! `ReplySlot<Vec<T>>` plus a recycled `Vec` that shuttles between the
+//! coordinator and the worker.  The worker pushes one reply per action into
+//! the promise-side buffer as it executes the batch *in order*, then
+//! publishes the whole buffer with a single `fulfill` — one state swap and
+//! at most one unpark per batch, no matter how many actions it carried.
+//! Per-action results and log records are preserved element-wise; dropping
+//! the promise mid-batch closes the round exactly like the single-action
+//! protocol (partial replies are discarded and the coordinator observes
+//! [`ReplyClosed`]).  Because the batch value is just `Vec<T>`, the batch
+//! path adds **no new atomic protocol** — the model tests for `ReplySlot`
+//! cover it; `model_batchreply_collects_then_single_wake` additionally pins
+//! the wrapper's hand-over-everything-once behavior.
+//!
 //! This module is model-checked: `cargo test -p plp-core --features
 //! loom-model model_` explores the fulfill/wait rendezvous and the
 //! stale-fulfiller reuse race under the loom shim (see `docs/concurrency.md`).
@@ -266,6 +283,116 @@ impl<T> Drop for ReplyPromise<T> {
     }
 }
 
+/// Coordinator-side handle for one *batch* of replies: a [`ReplySlot`]
+/// carrying a `Vec<T>`, with the vector's allocation recycled across rounds
+/// so the steady state stays allocation-free (see the module's "Batch
+/// framing" section).
+pub struct BatchReplySlot<T> {
+    slot: ReplySlot<Vec<T>>,
+    /// Drained storage from the previous round, handed to the next promise.
+    spare: Vec<T>,
+}
+
+/// Fulfilling side of one batch round, shipped to the worker inside a
+/// [`crate::worker::WorkerRequest::Batch`].  The worker [`push`es][Self::push]
+/// one reply per action, then [`finish`es][Self::finish] — a single wake for
+/// the whole batch.  Dropping it before `finish` closes the round.
+pub struct BatchReplyPromise<T> {
+    promise: ReplyPromise<Vec<T>>,
+    buf: Vec<T>,
+}
+
+impl<T> Default for BatchReplySlot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BatchReplySlot<T> {
+    pub fn new() -> Self {
+        Self {
+            slot: ReplySlot::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// Open the next round, sized for `expected` replies.  Panics (in the
+    /// underlying [`ReplySlot::promise`]) if the previous round is still
+    /// open.
+    pub fn promise(&mut self, expected: usize) -> BatchReplyPromise<T> {
+        let mut buf = std::mem::take(&mut self.spare);
+        debug_assert!(buf.is_empty(), "recycled batch buffer must be drained");
+        if buf.capacity() < expected {
+            buf.reserve(expected - buf.len());
+        }
+        BatchReplyPromise {
+            promise: self.slot.promise(),
+            buf,
+        }
+    }
+
+    /// Whether the current round has completed; never blocks.
+    pub fn ready(&self) -> bool {
+        self.slot.ready()
+    }
+
+    /// Block until the batch is fulfilled or the promise was dropped.  The
+    /// returned vector holds one reply per action, in execution (= send)
+    /// order; hand it back via [`Self::recycle`] after draining to keep the
+    /// round-trip allocation-free.
+    pub fn wait(&mut self) -> Result<Vec<T>, ReplyClosed> {
+        self.slot.wait()
+    }
+
+    /// Return a drained reply vector's storage for the next round.
+    pub fn recycle(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        self.spare = buf;
+    }
+}
+
+impl<T> BatchReplyPromise<T> {
+    /// Append one action's reply.  Buffered locally — the coordinator sees
+    /// nothing until [`Self::finish`].
+    pub fn push(&mut self, value: T) {
+        self.buf.push(value);
+    }
+
+    /// Replies pushed so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Publish the collected replies and wake the coordinator once.
+    pub fn finish(mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        // Moving `promise` out is fine: `BatchReplyPromise` has no `Drop`
+        // impl of its own, so `self`'s fields are dropped individually (and
+        // `buf` is already empty).
+        self.promise.fulfill(buf);
+    }
+}
+
+impl<T> std::fmt::Debug for BatchReplySlot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchReplySlot")
+            .field("slot", &self.slot)
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for BatchReplyPromise<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchReplyPromise")
+            .field("collected", &self.buf.len())
+            .finish()
+    }
+}
+
 impl<T> std::fmt::Debug for ReplySlot<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplySlot")
@@ -349,6 +476,57 @@ mod tests {
         let _p1 = slot.promise();
         let _p2 = slot.promise();
     }
+
+    #[test]
+    fn batch_collects_in_order_and_recycles_storage() {
+        let mut slot = BatchReplySlot::new();
+        let mut p = slot.promise(3);
+        for v in [10u32, 20, 30] {
+            p.push(v);
+        }
+        assert_eq!(p.len(), 3);
+        p.finish();
+        assert!(slot.ready());
+        let replies = slot.wait().unwrap();
+        assert_eq!(replies, vec![10, 20, 30]);
+        let cap = replies.capacity();
+        slot.recycle(replies);
+        // The next round reuses the same allocation.
+        let mut p = slot.promise(3);
+        p.push(1);
+        p.finish();
+        let replies = slot.wait().unwrap();
+        assert_eq!(replies, vec![1]);
+        assert_eq!(replies.capacity(), cap);
+    }
+
+    #[test]
+    fn batch_wait_parks_until_finish() {
+        let mut slot = BatchReplySlot::new();
+        let mut p = slot.promise(2);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            p.push(1u64);
+            p.push(2);
+            p.finish();
+        });
+        assert_eq!(slot.wait().unwrap(), vec![1, 2]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn batch_dropped_mid_collection_closes_round() {
+        let mut slot = BatchReplySlot::<u32>::new();
+        let mut p = slot.promise(4);
+        p.push(1);
+        drop(p); // worker died mid-batch: partial replies are discarded
+        assert_eq!(slot.wait(), Err(ReplyClosed));
+        // The slot is reusable after a closed round.
+        let mut p = slot.promise(1);
+        p.push(9);
+        p.finish();
+        assert_eq!(slot.wait().unwrap(), vec![9]);
+    }
 }
 
 /// Model-checked protocol tests (the `loom-model` lane); see the module docs
@@ -388,6 +566,46 @@ mod model_tests {
             assert_eq!(slot.wait(), Ok(2));
             w1.join().unwrap();
             w2.join().unwrap();
+        });
+    }
+
+    /// The batch wrapper rides the same Inner protocol; this pins its
+    /// one-wake hand-over: the waiter observes *all* pushed replies at once,
+    /// in push order, under every interleaving of the collect/finish side
+    /// with the spin/park side.
+    #[test]
+    fn model_batchreply_collects_then_single_wake() {
+        loom::model(|| {
+            let mut slot = BatchReplySlot::new();
+            let mut p = slot.promise(2);
+            let worker = loom::thread::spawn(move || {
+                p.push(1u32);
+                p.push(2);
+                p.finish();
+            });
+            assert_eq!(slot.wait().unwrap(), vec![1, 2]);
+            assert!(!slot.ready());
+            worker.join().unwrap();
+        });
+    }
+
+    /// A batch promise dropped mid-collection must close the round (partial
+    /// replies discarded), and the slot must be reusable afterwards.
+    #[test]
+    fn model_batchreply_dropped_mid_batch_closes() {
+        loom::model(|| {
+            let mut slot = BatchReplySlot::<u32>::new();
+            let mut p = slot.promise(2);
+            let worker = loom::thread::spawn(move || {
+                p.push(1);
+                drop(p);
+            });
+            assert_eq!(slot.wait(), Err(ReplyClosed));
+            worker.join().unwrap();
+            let mut p = slot.promise(1);
+            p.push(5);
+            p.finish();
+            assert_eq!(slot.wait().unwrap(), vec![5]);
         });
     }
 

@@ -11,19 +11,45 @@
 //! The exchange is engineered as the hot path it is: the request queue is the
 //! channel shim's lock-free MPMC queue, and the reply leg is a pooled
 //! [`ReplySlot`] rendezvous (no per-action channel allocation — see
-//! [`crate::reply`]).  Control messages (clean, quiesce, shutdown) ride the
-//! same queue, so they stay FIFO-ordered with respect to the actions a
-//! coordinator enqueued before them — repartitioning relies on every action
-//! enqueued under the old boundaries draining before the worker parks at the
-//! quiesce message.
+//! [`crate::reply`]).
+//!
+//! # Batch framing
+//!
+//! A multi-action stage pays one message per *worker*, not per action: the
+//! coordinator groups a stage's actions by routed worker and sends a single
+//! [`WorkerRequest::Batch`] carrying the action closures in dispatch order
+//! plus one [`BatchReplyPromise`].  The worker executes the batch strictly
+//! in order (so a batch behaves exactly like the equivalent sequence of
+//! `Action` messages from the same sender), pushing one [`ActionReply`] per
+//! action — per-action results, log records and abort outcomes survive
+//! batching — and wakes the coordinator once with `finish`.
+//!
+//! # Fast lanes and control ordering
+//!
+//! Sessions send actions/batches through a dedicated single-producer lane
+//! per worker ([`WorkerHandle::fast_lane`], backed by the channel shim's
+//! SPSC ring) and fall back to the MPMC queue when the lane is full.
+//! Control messages (clean, quiesce, shutdown) always ride the MPMC queue.
+//! The FIFO-per-sender guarantee that repartitioning relies on — every
+//! action enqueued under the old boundaries drains before the worker parks
+//! at the quiesce message — is preserved by a drain handshake: on receiving
+//! a control message from the main queue, the worker first drains every
+//! lane.  An action pushed onto a lane *before* the control message was
+//! enqueued is guaranteed visible to that drain (the lane publication
+//! happens-before the main-queue pop; pinned by the shim's
+//! `model_lane_vs_control_ordering`), and actions enqueued *after* are kept
+//! out by the dispatch gate for the window repartitioning cares about.
 //!
 //! Workers also handle system requests: page-cleaning batches for pages they
 //! own (Appendix A.4) and quiesce/resume handshakes used by repartitioning.
+//! When the engine was built with [`crate::catalog::EngineConfig::with_pinning`],
+//! each worker pins itself to the CPU chosen by the topology-aware placement
+//! (best-effort — see [`crate::topology`]).
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, LaneSender, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use plp_instrument::CsCategory;
 use plp_lock::LocalLockTable;
@@ -35,7 +61,12 @@ use crate::catalog::Design;
 use crate::ctx::PartitionCtx;
 use crate::database::Database;
 use crate::error::EngineError;
-use crate::reply::{ReplyPromise, ReplySlot};
+use crate::reply::{BatchReplyPromise, BatchReplySlot, ReplyPromise, ReplySlot};
+
+/// Slots in each session's per-worker SPSC fast lane.  Deep enough that a
+/// pipelined session never overflows it in practice; overflow just means the
+/// message takes the MPMC fallback path (counted as a lane miss).
+pub(crate) const LANE_CAP: usize = 64;
 
 /// Reply sent back to the coordinator when an action finishes.
 pub struct ActionReply {
@@ -52,6 +83,13 @@ pub enum WorkerRequest {
         txn_id: u64,
         run: ActionFn,
         reply: ReplyPromise<ActionReply>,
+    },
+    /// Execute a stage's actions for `txn_id` strictly in order, replying
+    /// once for the whole batch (see the module's "Batch framing" section).
+    Batch {
+        txn_id: u64,
+        actions: Vec<ActionFn>,
+        reply: BatchReplyPromise<ActionReply>,
     },
     /// Clean the given (owned) pages — the PLP page-cleaning path.
     Clean { pages: Vec<PageId> },
@@ -75,13 +113,21 @@ pub struct WorkerHandle {
 }
 
 impl WorkerHandle {
-    /// Spawn a worker serving partition `index`.
-    pub fn spawn(index: usize, db: Arc<Database>, design: Design) -> Self {
+    /// Spawn a worker serving partition `index`.  `pin_cpu` is a best-effort
+    /// CPU affinity request from the topology-aware placement; failure to
+    /// pin (container without affinity support, CPU gone offline) leaves the
+    /// worker unpinned and is otherwise harmless.
+    pub fn spawn(index: usize, db: Arc<Database>, design: Design, pin_cpu: Option<usize>) -> Self {
         let token = OwnerToken(index as u64 + 1);
         let (tx, rx) = unbounded::<WorkerRequest>();
         let thread = std::thread::Builder::new()
             .name(format!("plp-worker-{index}"))
-            .spawn(move || worker_loop(db, design, token, rx))
+            .spawn(move || {
+                if let Some(cpu) = pin_cpu {
+                    let _ = crate::topology::pin_current_thread(cpu);
+                }
+                worker_loop(db, design, token, rx)
+            })
             .expect("spawn partition worker");
         Self {
             index,
@@ -91,24 +137,66 @@ impl WorkerHandle {
         }
     }
 
-    /// Send an action to this worker.  The reply arrives through `slot`
-    /// (opened for one round here); the coordinator waits on the slot at the
-    /// stage's rendezvous point and can then reuse it — the steady state
-    /// allocates nothing.
+    /// Create a dedicated single-producer fast lane to this worker.  One per
+    /// long-lived sender (the engine keeps one per session per worker):
+    /// lane storage lives as long as the worker's channel.
+    pub fn fast_lane(&self) -> LaneSender<WorkerRequest> {
+        self.sender.fast_lane(LANE_CAP)
+    }
+
+    /// Send an action to this worker, preferring `lane` when given (falling
+    /// back to the MPMC queue when the ring is full).  The reply arrives
+    /// through `slot` (opened for one round here); the coordinator waits on
+    /// the slot at the stage's rendezvous point and can then reuse it — the
+    /// steady state allocates nothing.  Returns whether the message took the
+    /// fast lane.
     pub fn send_action(
         &self,
         txn_id: u64,
         run: ActionFn,
         slot: &mut ReplySlot<ActionReply>,
+        lane: Option<&LaneSender<WorkerRequest>>,
         stats: &plp_instrument::StatsRegistry,
-    ) {
+    ) -> bool {
         let reply = slot.promise();
         // The enqueue is the coordinator's half of the message-passing
         // critical section pair.
         stats.cs().enter(CsCategory::MessagePassing, false);
-        self.sender
-            .send(WorkerRequest::Action { txn_id, run, reply })
-            .expect("worker alive");
+        self.dispatch(WorkerRequest::Action { txn_id, run, reply }, lane)
+    }
+
+    /// Send a whole stage's worth of actions for this worker as one message
+    /// (see the module's "Batch framing" section).  Returns whether the
+    /// batch took the fast lane.
+    pub fn send_batch(
+        &self,
+        txn_id: u64,
+        actions: Vec<ActionFn>,
+        slot: &mut BatchReplySlot<ActionReply>,
+        lane: Option<&LaneSender<WorkerRequest>>,
+        stats: &plp_instrument::StatsRegistry,
+    ) -> bool {
+        debug_assert!(!actions.is_empty(), "empty batch");
+        let reply = slot.promise(actions.len());
+        stats.cs().enter(CsCategory::MessagePassing, false);
+        self.dispatch(
+            WorkerRequest::Batch {
+                txn_id,
+                actions,
+                reply,
+            },
+            lane,
+        )
+    }
+
+    fn dispatch(&self, req: WorkerRequest, lane: Option<&LaneSender<WorkerRequest>>) -> bool {
+        match lane {
+            Some(lane) => lane.send(req).expect("worker alive"),
+            None => {
+                self.sender.send(req).expect("worker alive");
+                false
+            }
+        }
     }
 
     /// Route a page-cleaning batch to this worker.
@@ -159,25 +247,77 @@ pub(crate) fn join_unless_self(handle: JoinHandle<()>) {
 fn worker_loop(db: Arc<Database>, design: Design, token: OwnerToken, rx: Receiver<WorkerRequest>) {
     let mut local_locks = LocalLockTable::new();
     let cleaner = PageCleaner::new(db.pool().clone());
-    while let Ok(req) = rx.recv() {
-        match req {
-            WorkerRequest::Action { txn_id, run, reply } => {
+    // Executes one data-plane request (actions, batches, cleaning).  Control
+    // messages never reach this — they are matched in the loop below.
+    let mut execute = |req: WorkerRequest| match req {
+        WorkerRequest::Action { txn_id, run, reply } => {
+            let mut ctx = PartitionCtx::new(&db, design, token, &mut local_locks, txn_id);
+            let result = run(&mut ctx);
+            let log = ctx.take_log();
+            // The reply is the worker's half of the message-passing pair.
+            db.stats().cs().enter(CsCategory::MessagePassing, false);
+            reply.fulfill(ActionReply { result, log });
+        }
+        WorkerRequest::Batch {
+            txn_id,
+            actions,
+            mut reply,
+        } => {
+            // Strictly in dispatch order, and every action runs even after
+            // an earlier one failed — identical outcomes to the equivalent
+            // sequence of Action messages (the coordinator aggregates the
+            // per-action results).
+            for run in actions {
                 let mut ctx = PartitionCtx::new(&db, design, token, &mut local_locks, txn_id);
                 let result = run(&mut ctx);
                 let log = ctx.take_log();
-                // The reply is the worker's half of the message-passing pair.
-                db.stats().cs().enter(CsCategory::MessagePassing, false);
-                reply.fulfill(ActionReply { result, log });
+                reply.push(ActionReply { result, log });
             }
-            WorkerRequest::Clean { pages } => {
-                cleaner.clean_owned(token, &pages);
-            }
-            WorkerRequest::Quiesce { ack, resume } => {
+            // One message-passing critical section and one wake per batch.
+            db.stats().cs().enter(CsCategory::MessagePassing, false);
+            reply.finish();
+        }
+        WorkerRequest::Clean { pages } => {
+            cleaner.clean_owned(token, &pages);
+        }
+        WorkerRequest::Quiesce { .. } | WorkerRequest::Shutdown => {
+            unreachable!("control messages are handled in the worker loop")
+        }
+    };
+    loop {
+        // Fast path: drain the session lanes before touching the MPMC queue.
+        while let Some(req) = rx.try_recv_lane() {
+            execute(req);
+        }
+        match rx.try_recv() {
+            Ok(WorkerRequest::Quiesce { ack, resume }) => {
+                // Drain handshake (module docs): every action pushed onto a
+                // lane before this quiesce was enqueued is visible now —
+                // execute it before acking, so nothing enqueued under the
+                // old partition boundaries is left behind while we park.
+                while let Some(req) = rx.try_recv_lane() {
+                    execute(req);
+                }
                 let _ = ack.send(());
                 // Block until the repartitioning coordinator releases us.
                 let _ = resume.recv();
             }
-            WorkerRequest::Shutdown => break,
+            Ok(WorkerRequest::Shutdown) => {
+                // Same handshake: answer anything already in a lane so its
+                // coordinator is not left waiting on a dropped promise.
+                while let Some(req) = rx.try_recv_lane() {
+                    execute(req);
+                }
+                break;
+            }
+            Ok(req) => execute(req),
+            Err(TryRecvError::Empty) => rx.wait_any(),
+            Err(TryRecvError::Disconnected) => {
+                while let Some(req) = rx.try_recv_lane() {
+                    execute(req);
+                }
+                break;
+            }
         }
     }
 }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use plp_core::action::ActionFn;
-use plp_core::reply::ReplySlot;
+use plp_core::reply::{BatchReplySlot, ReplySlot};
 use plp_core::worker::ActionReply;
 use plp_core::{ActionOutput, Design, Engine, EngineConfig, TableSpec};
 
@@ -42,7 +42,7 @@ fn quiesce_waits_for_all_earlier_actions() {
             Ok(ActionOutput::empty())
         });
         let mut slot = ReplySlot::new();
-        worker.send_action(1, run, &mut slot, &stats);
+        worker.send_action(1, run, &mut slot, None, &stats);
         slots.push(slot);
     }
 
@@ -69,7 +69,7 @@ fn quiesce_waits_for_all_earlier_actions() {
         Ok(ActionOutput::empty())
     });
     let mut late_slot = ReplySlot::new();
-    worker.send_action(2, run, &mut late_slot, &stats);
+    worker.send_action(2, run, &mut late_slot, None, &stats);
     std::thread::sleep(Duration::from_millis(30));
     assert_eq!(late.load(Ordering::SeqCst), 0, "worker ran while quiesced");
     assert!(!late_slot.ready());
@@ -90,7 +90,7 @@ fn quiesce_resume_cycles_with_interleaved_actions() {
 
     for round in 0..20u64 {
         let run: ActionFn = Box::new(move |_ctx| Ok(ActionOutput::with_values(vec![round])));
-        worker.send_action(round, run, &mut slot, &stats);
+        worker.send_action(round, run, &mut slot, None, &stats);
         let resume = worker.quiesce();
         // The action enqueued before the quiesce is already answered.
         assert!(slot.ready(), "round {round}: reply missing at quiesce ack");
@@ -101,6 +101,68 @@ fn quiesce_resume_cycles_with_interleaved_actions() {
 
     // The worker is alive and serving after 20 park/resume cycles.
     let run: ActionFn = Box::new(|_ctx| Ok(ActionOutput::empty()));
-    worker.send_action(99, run, &mut slot, &stats);
+    worker.send_action(99, run, &mut slot, None, &stats);
     slot.wait().expect("reply").result.expect("action ok");
+}
+
+#[test]
+fn quiesce_waits_for_batches_and_fast_lane_sends() {
+    let engine = test_engine();
+    let pm = engine.partition_manager().expect("partitioned design");
+    let worker = pm.worker(0);
+    let lane = worker.fast_lane();
+    let stats = engine.db().stats().clone();
+
+    // A whole stage batch, delivered over the SPSC fast lane.
+    let executed = Arc::new(AtomicU64::new(0));
+    let mut slot = BatchReplySlot::new();
+    let actions: Vec<ActionFn> = (0..8u64)
+        .map(|i| {
+            let executed = executed.clone();
+            let run: ActionFn = Box::new(move |_ctx| {
+                std::thread::sleep(Duration::from_millis(1));
+                executed.fetch_add(1, Ordering::SeqCst);
+                Ok(ActionOutput::with_values(vec![i]))
+            });
+            run
+        })
+        .collect();
+    let took_lane = worker.send_batch(7, actions, &mut slot, Some(&lane), &stats);
+    assert!(took_lane, "an empty lane must accept the batch");
+
+    // The quiesce rides the shared MPMC queue; the worker must drain the
+    // lane-delivered batch before it parks and acks.
+    let resume = worker.quiesce();
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        8,
+        "quiesce overtook a lane-delivered batch"
+    );
+    assert!(slot.ready(), "batch reply missing at quiesce ack");
+    let replies = slot.wait().expect("batch reply");
+    assert_eq!(replies.len(), 8, "one reply per batched action");
+    for (i, reply) in replies.into_iter().enumerate() {
+        // Per-action results survive batching, in dispatch order.
+        assert_eq!(reply.result.expect("action ok").values, vec![i as u64]);
+    }
+    drop(resume);
+
+    // Lane-sent singles behave the same way.
+    let late = Arc::new(AtomicU64::new(0));
+    let late_count = late.clone();
+    let run: ActionFn = Box::new(move |_ctx| {
+        late_count.fetch_add(1, Ordering::SeqCst);
+        Ok(ActionOutput::empty())
+    });
+    let mut single = ReplySlot::new();
+    worker.send_action(8, run, &mut single, Some(&lane), &stats);
+    let resume = worker.quiesce();
+    assert_eq!(
+        late.load(Ordering::SeqCst),
+        1,
+        "quiesce overtook a lane send"
+    );
+    assert!(single.ready());
+    single.wait().expect("reply").result.expect("action ok");
+    drop(resume);
 }

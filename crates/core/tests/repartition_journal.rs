@@ -342,16 +342,29 @@ fn repartition_drains_inflight_multistage_transactions() {
                     i += 1;
                     let k1 = (i * 13 + t * 101) % 512;
                     let k2 = (i * 29 + t * 211) % 512;
-                    // Stage 1 reads k1; stage 2 (continuation) updates k2 —
-                    // routed *after* stage 1 completed.
-                    let plan = TransactionPlan::single(Action::new(ROOT, k1, move |ctx| {
-                        let row = ctx.read(ROOT, k1)?;
-                        assert!(row.is_some());
-                        Ok(ActionOutput::empty())
-                    }))
-                    .followed_by(move |_| {
-                        TransactionPlan::single(Action::new(ROOT, k2, move |ctx| {
-                            let updated = ctx.update(ROOT, k2, &mut |rec| {
+                    let k3 = (i * 7 + t * 61) % 512;
+                    let k4 = (i * 17 + t * 151) % 512;
+                    // Stage 1 fans out over several keys — keys on the same
+                    // side of the (moving) cut are batched into one worker
+                    // message, keys on opposite sides dispatch separately;
+                    // stage 2 (continuation) updates k4 — routed *after*
+                    // stage 1 completed, under the same boundaries.
+                    let reads: Vec<Action> = [k1, k2, k3]
+                        .into_iter()
+                        .map(|k| {
+                            Action::new(ROOT, k, move |ctx| {
+                                let row = ctx.read(ROOT, k)?;
+                                assert!(row.is_some());
+                                Ok(ActionOutput::with_values(vec![k]))
+                            })
+                        })
+                        .collect();
+                    let plan = TransactionPlan::parallel(reads).followed_by(move |outputs| {
+                        // Batched replies must scatter back in stage order.
+                        let echoed: Vec<u64> = outputs.iter().map(|o| o.values[0]).collect();
+                        assert_eq!(echoed, vec![k1, k2, k3], "stage outputs out of order");
+                        TransactionPlan::single(Action::new(ROOT, k4, move |ctx| {
+                            let updated = ctx.update(ROOT, k4, &mut |rec| {
                                 rec[0] = rec[0].wrapping_add(1);
                             })?;
                             assert!(updated);

@@ -674,6 +674,17 @@ pub struct MsgStats {
     parks: AtomicU64,
     /// Wakeups actually issued (skipped when no one sleeps).
     wakeups: AtomicU64,
+    /// Batched dispatches sent (one `WorkerRequest::Batch` each).
+    batches: AtomicU64,
+    /// Actions carried inside batched dispatches.
+    batch_actions: AtomicU64,
+    /// Actions-per-batch histogram: 2, 3–4, 5–8, 9–16, 17+ actions.
+    batch_size_buckets: [AtomicU64; 5],
+    /// Dispatches (single or batch) that took a session's SPSC fast lane.
+    lane_hits: AtomicU64,
+    /// Dispatches that went over the shared MPMC queue instead (lane full,
+    /// or the session has no lane to that worker).
+    lane_fallbacks: AtomicU64,
 }
 
 impl MsgStats {
@@ -698,6 +709,32 @@ impl MsgStats {
         self.reply_allocs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a single-action dispatch and which path it took.
+    #[inline]
+    pub fn dispatch_sent(&self, fast_lane: bool) {
+        if fast_lane {
+            self.lane_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.lane_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one batched dispatch carrying `actions` actions.
+    #[inline]
+    pub fn batch_sent(&self, actions: u64, fast_lane: bool) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_actions.fetch_add(actions, Ordering::Relaxed);
+        let bucket = match actions {
+            0..=2 => 0,
+            3..=4 => 1,
+            5..=8 => 2,
+            9..=16 => 3,
+            _ => 4,
+        };
+        self.batch_size_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.dispatch_sent(fast_lane);
+    }
+
     /// Fold in a delta of the channel layer's slow-path counters.
     pub fn queue_activity(&self, enqueue_spins: u64, dequeue_spins: u64, parks: u64, wakeups: u64) {
         self.enqueue_spins
@@ -718,6 +755,17 @@ impl MsgStats {
             dequeue_spins: self.dequeue_spins.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             wakeups: self.wakeups.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_actions: self.batch_actions.load(Ordering::Relaxed),
+            batch_size_buckets: [
+                self.batch_size_buckets[0].load(Ordering::Relaxed),
+                self.batch_size_buckets[1].load(Ordering::Relaxed),
+                self.batch_size_buckets[2].load(Ordering::Relaxed),
+                self.batch_size_buckets[3].load(Ordering::Relaxed),
+                self.batch_size_buckets[4].load(Ordering::Relaxed),
+            ],
+            lane_hits: self.lane_hits.load(Ordering::Relaxed),
+            lane_fallbacks: self.lane_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -730,6 +778,13 @@ impl MsgStats {
         self.dequeue_spins.store(0, Ordering::Relaxed);
         self.parks.store(0, Ordering::Relaxed);
         self.wakeups.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.batch_actions.store(0, Ordering::Relaxed);
+        for bucket in &self.batch_size_buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.lane_hits.store(0, Ordering::Relaxed);
+        self.lane_fallbacks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -744,6 +799,11 @@ pub struct MsgStatsSnapshot {
     pub dequeue_spins: u64,
     pub parks: u64,
     pub wakeups: u64,
+    pub batches: u64,
+    pub batch_actions: u64,
+    pub batch_size_buckets: [u64; 5],
+    pub lane_hits: u64,
+    pub lane_fallbacks: u64,
 }
 
 impl MsgStatsSnapshot {
@@ -761,6 +821,23 @@ impl MsgStatsSnapshot {
         self.reply_reuses as f64 / total as f64
     }
 
+    /// Mean actions carried per batched dispatch (0 when no batches).
+    pub fn mean_actions_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batch_actions as f64 / self.batches as f64
+    }
+
+    /// Fraction of dispatches that took an SPSC fast lane.
+    pub fn lane_hit_rate(&self) -> f64 {
+        let total = self.lane_hits + self.lane_fallbacks;
+        if total == 0 {
+            return 0.0;
+        }
+        self.lane_hits as f64 / total as f64
+    }
+
     /// Counter difference (`self - earlier`); all fields are cumulative.
     pub fn delta(&self, earlier: &MsgStatsSnapshot) -> MsgStatsSnapshot {
         MsgStatsSnapshot {
@@ -772,6 +849,17 @@ impl MsgStatsSnapshot {
             dequeue_spins: self.dequeue_spins.saturating_sub(earlier.dequeue_spins),
             parks: self.parks.saturating_sub(earlier.parks),
             wakeups: self.wakeups.saturating_sub(earlier.wakeups),
+            batches: self.batches.saturating_sub(earlier.batches),
+            batch_actions: self.batch_actions.saturating_sub(earlier.batch_actions),
+            batch_size_buckets: [
+                self.batch_size_buckets[0].saturating_sub(earlier.batch_size_buckets[0]),
+                self.batch_size_buckets[1].saturating_sub(earlier.batch_size_buckets[1]),
+                self.batch_size_buckets[2].saturating_sub(earlier.batch_size_buckets[2]),
+                self.batch_size_buckets[3].saturating_sub(earlier.batch_size_buckets[3]),
+                self.batch_size_buckets[4].saturating_sub(earlier.batch_size_buckets[4]),
+            ],
+            lane_hits: self.lane_hits.saturating_sub(earlier.lane_hits),
+            lane_fallbacks: self.lane_fallbacks.saturating_sub(earlier.lane_fallbacks),
         }
     }
 }
