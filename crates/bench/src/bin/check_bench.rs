@@ -1,6 +1,7 @@
-//! CI perf-regression gate for the message-passing microbenchmark.
+//! CI perf-regression gate for the message-passing microbenchmark and the
+//! observability-overhead benchmark.
 //!
-//! Usage: `check_bench <current.json> <baseline.json> [threshold]`
+//! Usage: `check_bench <current.json> <baseline.json> [threshold] [obs-current.json]`
 //!
 //! Compares the lock-free/mutex cost *ratios* of a fresh `fig_msgcost
 //! --json` run against the committed `BENCH_BASELINE.json` and exits
@@ -8,14 +9,23 @@
 //! `threshold` (default 0.30 = 30%).  Ratios, not absolute nanoseconds, so
 //! the gate is robust to CI-runner hardware differences; refresh the
 //! baseline deliberately when the expected cost profile changes.
+//!
+//! With a fourth argument — a `fig_obs --json` document — the gate also
+//! checks the observability-overhead ratio (stubbed/instrumented TATP
+//! throughput) against the baseline's `"obs"` entry, floored at the absolute
+//! cap `plp_bench::obs::OBS_OVERHEAD_CAP`: default-on recording must stay
+//! cheap even if a generous baseline would tolerate more.
 use plp_bench::msgcost::{check_against_baseline, parse_msgcost_json, DEFAULT_THRESHOLD};
+use plp_bench::obs::{check_obs_against_baseline, parse_obs_json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (current_path, baseline_path) = match (args.first(), args.get(1)) {
         (Some(c), Some(b)) => (c.clone(), b.clone()),
         _ => {
-            eprintln!("usage: check_bench <current.json> <baseline.json> [threshold]");
+            eprintln!(
+                "usage: check_bench <current.json> <baseline.json> [threshold] [obs-current.json]"
+            );
             std::process::exit(2);
         }
     };
@@ -41,29 +51,47 @@ fn main() {
     let current = parse(&current_path, &current_doc);
     let baseline = parse(&baseline_path, &baseline_doc);
 
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
     match check_against_baseline(&current, &baseline, threshold) {
-        Ok(report) => {
-            println!(
-                "perf gate passed ({} vs {} @ {:.0}% threshold):",
-                current_path,
-                baseline_path,
-                threshold * 100.0
-            );
-            for line in report {
-                println!("  {line}");
-            }
+        Ok(lines) => report.extend(lines),
+        Err(lines) => failures.extend(lines),
+    }
+
+    if let Some(obs_path) = args.get(3) {
+        let obs_doc = read(obs_path);
+        let obs_current = parse_obs_json(&obs_doc).unwrap_or_else(|| {
+            eprintln!("check_bench: no obs measurement in {obs_path}");
+            std::process::exit(2);
+        });
+        // An old baseline without an "obs" entry gates on the cap alone.
+        let obs_baseline = parse_obs_json(&baseline_doc);
+        match check_obs_against_baseline(&obs_current, obs_baseline.as_ref(), threshold) {
+            Ok(lines) => report.extend(lines),
+            Err(lines) => failures.extend(lines),
         }
-        Err(failures) => {
-            eprintln!(
-                "perf gate FAILED ({} vs {} @ {:.0}% threshold):",
-                current_path,
-                baseline_path,
-                threshold * 100.0
-            );
-            for line in failures {
-                eprintln!("  {line}");
-            }
-            std::process::exit(1);
+    }
+
+    if failures.is_empty() {
+        println!(
+            "perf gate passed ({} vs {} @ {:.0}% threshold):",
+            current_path,
+            baseline_path,
+            threshold * 100.0
+        );
+        for line in report {
+            println!("  {line}");
         }
+    } else {
+        eprintln!(
+            "perf gate FAILED ({} vs {} @ {:.0}% threshold):",
+            current_path,
+            baseline_path,
+            threshold * 100.0
+        );
+        for line in failures {
+            eprintln!("  {line}");
+        }
+        std::process::exit(1);
     }
 }

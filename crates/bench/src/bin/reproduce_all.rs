@@ -48,6 +48,10 @@ fn main() {
         "Durability & crash recovery",
         plp_bench::fig_durability(scale),
     );
+    section(
+        "End-of-run stats snapshot",
+        plp_bench::obs::stats_snapshot_tables(scale),
+    );
     std::fs::write("reproduction_results.md", md).expect("write results");
     let json = format!("{{\"sections\":[{}]}}\n", json_sections.join(","));
     std::fs::write("reproduction_results.json", json).expect("write json results");

@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod msgcost;
+pub mod obs;
 
 pub use experiments::*;
 pub use msgcost::fig_msgcost;

@@ -661,7 +661,7 @@ pub fn msgcost_json(points: &[MsgCostPoint]) -> String {
 }
 
 /// Extract `"key":<number>` from one flat JSON object.
-fn json_number(obj: &str, key: &str) -> Option<f64> {
+pub(crate) fn json_number(obj: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\":");
     let start = obj.find(&needle)? + needle.len();
     let rest = &obj[start..];

@@ -222,6 +222,15 @@ pub struct EngineConfig {
     /// or the affinity syscall is unavailable (minimal containers, non-Linux
     /// targets) workers simply stay unpinned.
     pub pin_workers: bool,
+    /// When set, a background sampler thread snapshots stats deltas and
+    /// histogram summaries into the engine's flight recorder this often
+    /// (see `docs/observability.md`).
+    pub metrics_interval: Option<Duration>,
+    /// When set, the flight recorder (time series + latency summaries +
+    /// trace rings) is dumped to this file if any thread panics, and again on
+    /// clean shutdown.  Implies a flight recorder even without
+    /// [`Self::metrics_interval`].
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl EngineConfig {
@@ -244,6 +253,8 @@ impl EngineConfig {
             log_segment_bytes: plp_wal::segment::DEFAULT_SEGMENT_BYTES,
             checkpoint_interval: None,
             pin_workers: false,
+            metrics_interval: None,
+            flight_dump: None,
         }
     }
 
@@ -311,6 +322,19 @@ impl EngineConfig {
     /// [`Self::pin_workers`]).
     pub fn with_pinning(mut self, pin: bool) -> Self {
         self.pin_workers = pin;
+        self
+    }
+
+    /// Enable the background metrics sampler (see [`Self::metrics_interval`]).
+    pub fn with_metrics_interval(mut self, interval: Duration) -> Self {
+        self.metrics_interval = Some(interval);
+        self
+    }
+
+    /// Dump the flight recorder to `path` on panic and on shutdown (see
+    /// [`Self::flight_dump`]).
+    pub fn with_flight_dump(mut self, path: impl Into<PathBuf>) -> Self {
+        self.flight_dump = Some(path.into());
         self
     }
 }

@@ -1,12 +1,14 @@
 //! The engine front-end: sessions, transaction execution, repartitioning,
 //! checkpointing and crash recovery.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use plp_instrument::trace::now_nanos;
+use plp_instrument::{obs_enabled, FlightRecorder, TraceEvent, TraceRing};
 use plp_lock::AgentLockCache;
 use plp_txn::Transaction;
 use plp_wal::{CheckpointData, Lsn};
@@ -26,9 +28,17 @@ use crossbeam::channel::LaneSender;
 pub struct Engine {
     db: Arc<Database>,
     design: Design,
-    // Field order matters for drop: the checkpointer and DLB controller must
-    // stop before the partition workers they observe are torn down.
+    // Field order matters for drop: the checkpointer, metrics sampler and
+    // DLB controller must stop before the partition workers they observe are
+    // torn down.
     checkpointer: Option<CheckpointerHandle>,
+    sampler: Option<MetricsSamplerHandle>,
+    /// Flight recorder, present when [`EngineConfig::metrics_interval`] or
+    /// [`EngineConfig::flight_dump`] is configured.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Autopsy path registered with the panic hook (see
+    /// [`EngineConfig::flight_dump`]).
+    flight_dump: Option<PathBuf>,
     dlb: Option<LoadBalancerHandle>,
     partition_mgr: Option<Arc<PartitionManager>>,
 }
@@ -104,10 +114,31 @@ impl Engine {
             )),
             _ => None,
         };
+        // The flight recorder exists whenever anything consumes it: a
+        // periodic sampler, a panic-time autopsy path, or both.
+        let recorder = if config.metrics_interval.is_some() || config.flight_dump.is_some() {
+            Some(Arc::new(FlightRecorder::default()))
+        } else {
+            None
+        };
+        if let (Some(rec), Some(path)) = (&recorder, &config.flight_dump) {
+            plp_instrument::register_flight_dump(path.clone(), rec, db.stats());
+        }
+        let sampler = match (&recorder, config.metrics_interval) {
+            (Some(rec), Some(interval)) => Some(MetricsSamplerHandle::start(
+                db.clone(),
+                rec.clone(),
+                interval,
+            )),
+            _ => None,
+        };
         Self {
             db,
             design,
             checkpointer,
+            sampler,
+            recorder,
+            flight_dump: config.flight_dump,
             dlb,
             partition_mgr,
         }
@@ -297,6 +328,21 @@ impl Engine {
         self.dlb.as_ref()
     }
 
+    /// The flight recorder, when [`EngineConfig::metrics_interval`] or
+    /// [`EngineConfig::flight_dump`] is configured.  Holds the bounded
+    /// time-series of stats deltas the background sampler produces; use
+    /// [`FlightRecorder::samples_json`] / [`FlightRecorder::samples_table`]
+    /// to export it.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Render every registered trace ring (sessions, workers, background
+    /// threads) as chrome://tracing Trace Event JSON.
+    pub fn trace_json(&self) -> String {
+        self.db.stats().trace().chrome_json()
+    }
+
     /// Finish the loading phase: assign latch-free page ownership (PLP),
     /// reset all statistics so the measured run starts from zero, and unpause
     /// the DLB controller (if enabled) now that the load phase's access
@@ -324,9 +370,17 @@ impl Engine {
             }
             _ => None,
         };
+        static NEXT_SESSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let session_id = NEXT_SESSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let ring = self
+            .db
+            .stats()
+            .trace()
+            .register(format!("session-{session_id}"));
         Session {
             engine: self,
             sli,
+            ring,
             reply_pool: Vec::new(),
             batch_pool: Vec::new(),
             lanes: Vec::new(),
@@ -360,6 +414,18 @@ impl Engine {
         }
         if self.db.log_manager().has_device() {
             self.checkpoint_now();
+        }
+        if let Some(sampler) = self.sampler.take() {
+            sampler.stop();
+        }
+        if let Some(rec) = self.recorder.take() {
+            // Final cut so the dump covers activity since the last tick, then
+            // an explicit "shutdown" autopsy before the panic hook forgets us.
+            rec.sample_now(self.db.stats());
+            if let Some(path) = self.flight_dump.take() {
+                rec.dump_to(&path, self.db.stats(), "shutdown");
+            }
+            plp_instrument::unregister_flight_dump(&rec);
         }
         if let Some(dlb) = self.dlb.take() {
             dlb.stop();
@@ -449,6 +515,66 @@ impl Drop for CheckpointerHandle {
     }
 }
 
+/// Background thread that snapshots the stats registry into the flight
+/// recorder every [`EngineConfig::metrics_interval`].
+struct MetricsSamplerHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsSamplerHandle {
+    fn start(db: Arc<Database>, recorder: Arc<FlightRecorder>, interval: Duration) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("plp-metrics".into())
+            .spawn(move || {
+                let (lock, cv) = &*stop2;
+                loop {
+                    {
+                        let mut stopped = lock.lock();
+                        if !*stopped {
+                            cv.wait_for(&mut stopped, interval);
+                        }
+                        if *stopped {
+                            return;
+                        }
+                    }
+                    recorder.sample_now(db.stats());
+                }
+            })
+            .expect("spawn metrics sampler");
+        Self {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn stop(mut self) {
+        self.signal_stop();
+        self.join();
+    }
+
+    fn signal_stop(&self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock() = true;
+        cv.notify_all();
+    }
+
+    fn join(&mut self) {
+        if let Some(t) = self.thread.take() {
+            crate::worker::join_unless_self(t);
+        }
+    }
+}
+
+impl Drop for MetricsSamplerHandle {
+    fn drop(&mut self) {
+        self.signal_stop();
+        self.join();
+    }
+}
+
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
@@ -471,6 +597,9 @@ const BATCH_POOL_MAX: usize = 16;
 pub struct Session<'e> {
     engine: &'e Engine,
     sli: Option<AgentLockCache>,
+    /// This session's trace timeline (one chrome://tracing row); transaction,
+    /// dispatch and reply-wait spans land here.
+    ring: Arc<TraceRing>,
     /// Recycled reply rendezvous for the partitioned hot path: after warm-up
     /// every action dispatch reuses a slot instead of allocating a channel.
     reply_pool: Vec<ReplySlot<ActionReply>>,
@@ -489,12 +618,15 @@ enum Pending {
     Single {
         index: usize,
         slot: ReplySlot<ActionReply>,
-        sent_at: Instant,
+        /// `now_nanos()` at dispatch — the trace clock, so the reply wake
+        /// derives both the round-trip duration and its trace timestamp
+        /// from a single clock read.
+        sent_at: u64,
     },
     Batch {
         indices: Vec<usize>,
         slot: BatchReplySlot<ActionReply>,
-        sent_at: Instant,
+        sent_at: u64,
     },
 }
 
@@ -503,8 +635,10 @@ impl Session<'_> {
     /// outputs of all its actions, or the abort reason.
     pub fn execute(&mut self, plan: TransactionPlan) -> Result<Vec<ActionOutput>, EngineError> {
         let start = Instant::now();
+        let trace_start = if obs_enabled() { now_nanos() } else { 0 };
         let db = self.engine.db.clone();
         let mut txn = db.txn_manager().begin();
+        let txn_id = txn.id();
         let result = if self.engine.design.is_partitioned() {
             self.execute_partitioned(&db, &mut txn, plan)
         } else {
@@ -519,6 +653,12 @@ impl Session<'_> {
                 db.txn_manager()
                     .commit_with(&mut txn, locks, Some(db.breakdown()));
                 db.breakdown().finish_txn(start.elapsed());
+                if obs_enabled() {
+                    let now = now_nanos();
+                    self.ring.instant_at(TraceEvent::Commit, txn_id, now);
+                    self.ring
+                        .event(TraceEvent::Txn, txn_id, trace_start, now - trace_start);
+                }
                 Ok(outputs)
             }
             Err(e) => {
@@ -528,6 +668,12 @@ impl Session<'_> {
                 };
                 db.txn_manager().abort_with(&mut txn, locks);
                 db.breakdown().finish_txn(start.elapsed());
+                if obs_enabled() {
+                    let now = now_nanos();
+                    self.ring.instant_at(TraceEvent::Abort, txn_id, now);
+                    self.ring
+                        .event(TraceEvent::Txn, txn_id, trace_start, now - trace_start);
+                }
                 Err(e)
             }
         }
@@ -591,6 +737,9 @@ impl Session<'_> {
                 .map(|i| pm.worker(i).fast_lane())
                 .collect();
         }
+        // Arc clone so trace spans can live across the mutable borrows of the
+        // reply pools below (one refcount bump per transaction).
+        let ring = self.ring.clone();
         let mut all_outputs = Vec::new();
         let mut total_actions = 0u32;
         // The lowest-indexed failing action of the current stage (a
@@ -606,6 +755,11 @@ impl Session<'_> {
             let stats = db.stats();
             let num_actions = plan.actions.len();
             let mut pending: Vec<Pending> = Vec::new();
+            // One timestamp opens the route AND dispatch spans, and one
+            // closes dispatch AND feeds the stage_dispatch histogram: on
+            // this path clock reads are the dominant recording cost, so
+            // adjacent events share them.
+            let stage_t0 = if obs_enabled() { now_nanos() } else { 0 };
             {
                 let _gate = pm.dispatch_guard();
                 // Group the stage's actions by routed worker: each worker
@@ -623,6 +777,15 @@ impl Session<'_> {
                         }
                         None => groups.push((worker, vec![index], vec![action.run])),
                     }
+                }
+                if obs_enabled() {
+                    let route_end = now_nanos();
+                    ring.event(
+                        TraceEvent::Route,
+                        num_actions as u64,
+                        stage_t0,
+                        route_end - stage_t0,
+                    );
                 }
                 for (worker, indices, mut actions) in groups {
                     let lane = self.lanes.get(worker);
@@ -647,10 +810,22 @@ impl Session<'_> {
                             stats.as_ref(),
                         );
                         stats.msg().dispatch_sent(fast);
+                        // The round-trip timestamp doubles as the send
+                        // event's — no second clock read.
+                        let sent_at = now_nanos();
+                        ring.instant_at(
+                            if fast {
+                                TraceEvent::LaneSend
+                            } else {
+                                TraceEvent::QueueSend
+                            },
+                            worker as u64,
+                            sent_at,
+                        );
                         pending.push(Pending::Single {
                             index: indices[0],
                             slot,
-                            sent_at: Instant::now(),
+                            sent_at,
                         });
                     } else {
                         let mut slot = match self.batch_pool.pop() {
@@ -672,13 +847,28 @@ impl Session<'_> {
                             stats.as_ref(),
                         );
                         stats.msg().batch_sent(batched, fast);
+                        let sent_at = now_nanos();
+                        ring.instant_at(TraceEvent::BatchDispatch, batched, sent_at);
                         pending.push(Pending::Batch {
                             indices,
                             slot,
-                            sent_at: Instant::now(),
+                            sent_at,
                         });
                     }
                 }
+            }
+            let dispatch_end = if obs_enabled() { now_nanos() } else { 0 };
+            if obs_enabled() {
+                ring.event(
+                    TraceEvent::Dispatch,
+                    num_actions as u64,
+                    stage_t0,
+                    dispatch_end - stage_t0,
+                );
+                stats
+                    .latency()
+                    .stage_dispatch
+                    .record(dispatch_end - stage_t0);
             }
             // Scatter replies back into stage order by original index.
             let mut stage_slots: Vec<Option<ActionOutput>> = Vec::with_capacity(num_actions);
@@ -702,6 +892,10 @@ impl Session<'_> {
                     }
                 }
             };
+            let num_pending = pending.len();
+            // The wake that consumes each reply stamps `wait_end`, so the
+            // ReplyWait span closes without a clock read of its own.
+            let mut wait_end = dispatch_end;
             for p in pending {
                 match p {
                     Pending::Single {
@@ -710,7 +904,12 @@ impl Session<'_> {
                         sent_at,
                     } => {
                         let reply = slot.wait();
-                        stats.msg().roundtrip(sent_at.elapsed().as_nanos() as u64);
+                        let woke = now_nanos();
+                        let rt = woke.saturating_sub(sent_at);
+                        stats.msg().roundtrip(rt);
+                        stats.latency().action_roundtrip.record(rt);
+                        ring.instant_at(TraceEvent::ReplyWake, index as u64, woke);
+                        wait_end = woke;
                         if self.reply_pool.len() < REPLY_POOL_MAX {
                             self.reply_pool.push(slot);
                         }
@@ -723,7 +922,12 @@ impl Session<'_> {
                         sent_at,
                     } => {
                         let replies = slot.wait();
-                        stats.msg().roundtrip(sent_at.elapsed().as_nanos() as u64);
+                        let woke = now_nanos();
+                        let rt = woke.saturating_sub(sent_at);
+                        stats.msg().roundtrip(rt);
+                        stats.latency().action_roundtrip.record(rt);
+                        ring.instant_at(TraceEvent::ReplyWake, indices.len() as u64, woke);
+                        wait_end = woke;
                         let mut replies = replies.map_err(|_| EngineError::Shutdown)?;
                         debug_assert_eq!(replies.len(), indices.len(), "one reply per action");
                         for (index, reply) in indices.iter().copied().zip(replies.drain(..)) {
@@ -737,6 +941,14 @@ impl Session<'_> {
                         }
                     }
                 }
+            }
+            if obs_enabled() {
+                ring.event(
+                    TraceEvent::ReplyWait,
+                    num_pending as u64,
+                    dispatch_end,
+                    wait_end.saturating_sub(dispatch_end),
+                );
             }
             if let Some((_, e)) = abort {
                 txn.set_action_count(total_actions);

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use plp_btree::PartitionId;
@@ -70,6 +71,9 @@ pub struct PartitionManager {
     /// transactions before a repartition (see [`Self::txn_ticket`]).
     drain: Mutex<DrainState>,
     drain_cv: Condvar,
+    /// Trace timeline for repartitions.  Writes are serialized by the
+    /// dispatch gate's write side, satisfying the ring's single-writer rule.
+    trace_ring: Arc<plp_instrument::TraceRing>,
 }
 
 #[derive(Debug, Default)]
@@ -137,6 +141,7 @@ impl PartitionManager {
                 },
             );
         }
+        let trace_ring = db.stats().trace().register("repartition");
         Self {
             db,
             design,
@@ -148,6 +153,7 @@ impl PartitionManager {
             fail_mid_table: Mutex::new(None),
             drain: Mutex::new(DrainState::default()),
             drain_cv: Condvar::new(),
+            trace_ring,
         }
     }
 
@@ -411,12 +417,21 @@ impl PartitionManager {
         // stage 1 took on the old owner.  The drain happens *before* the
         // dispatch gate is taken so in-flight transactions can still
         // dispatch their remaining stages.
+        let drain_start = Instant::now();
+        let trace_t0 = plp_instrument::trace::now_nanos();
         let _drain = self.quiesce_transactions();
         // Block new action dispatches for the whole repartition: actions
         // already enqueued run before the workers park (FIFO), actions not
         // yet routed wait and see the new boundaries and ownership.
         let _dispatch_gate = self.dispatch_gate.write();
         let resumers = self.quiesce_all();
+        // Drain latency: from first blocking step until every worker parked.
+        let move_start = Instant::now();
+        self.db
+            .stats()
+            .latency()
+            .repartition_drain
+            .record_duration(drain_start.elapsed());
         // Workers are parked until `resumers` fire, so errors must not return
         // before the resume loop.
         let mut journal: Vec<(TableId, Vec<u64>)> = Vec::new();
@@ -474,6 +489,19 @@ impl PartitionManager {
         for r in resumers {
             let _ = r.send(());
         }
+        // Move latency: boundary slicing + record movement + ownership
+        // re-assignment, i.e. the stop-the-world window minus the drain.
+        self.db
+            .stats()
+            .latency()
+            .repartition_move
+            .record_duration(move_start.elapsed());
+        self.trace_ring.event(
+            plp_instrument::TraceEvent::Repartition,
+            u64::from(table_id.0),
+            trace_t0,
+            plp_instrument::trace::now_nanos().saturating_sub(trace_t0),
+        );
         if result.is_ok() {
             // Make the boundary change recoverable: one repartition record
             // per touched table.  Durability rides the normal flusher — any

@@ -51,7 +51,8 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, LaneSender, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
-use plp_instrument::CsCategory;
+use plp_instrument::trace::now_nanos;
+use plp_instrument::{obs_enabled, CsCategory, TraceEvent};
 use plp_lock::LocalLockTable;
 use plp_storage::{OwnerToken, PageCleaner, PageId};
 use plp_wal::LogRecord;
@@ -247,12 +248,23 @@ pub(crate) fn join_unless_self(handle: JoinHandle<()>) {
 fn worker_loop(db: Arc<Database>, design: Design, token: OwnerToken, rx: Receiver<WorkerRequest>) {
     let mut local_locks = LocalLockTable::new();
     let cleaner = PageCleaner::new(db.pool().clone());
+    // One chrome://tracing row per worker.  The ring lives in the shared
+    // stats registry, so a flight-recorder dump still sees this worker's
+    // last events after the thread has died (e.g. from an action panic).
+    let ring = db
+        .stats()
+        .trace()
+        .register(format!("worker-{}", token.0 - 1));
     // Executes one data-plane request (actions, batches, cleaning).  Control
     // messages never reach this — they are matched in the loop below.
     let mut execute = |req: WorkerRequest| match req {
         WorkerRequest::Action { txn_id, run, reply } => {
             let mut ctx = PartitionCtx::new(&db, design, token, &mut local_locks, txn_id);
+            // The span guard records on drop — including the unwind of a
+            // panicking action, so the autopsy dump shows what was running.
+            let span = ring.span(TraceEvent::ExecuteAction, txn_id);
             let result = run(&mut ctx);
+            drop(span);
             let log = ctx.take_log();
             // The reply is the worker's half of the message-passing pair.
             db.stats().cs().enter(CsCategory::MessagePassing, false);
@@ -267,11 +279,28 @@ fn worker_loop(db: Arc<Database>, design: Design, token: OwnerToken, rx: Receive
             // an earlier one failed — identical outcomes to the equivalent
             // sequence of Action messages (the coordinator aggregates the
             // per-action results).
+            //
+            // Trace timestamps are chained — each action's end is the next
+            // one's start — so the batch pays one clock read per action
+            // (plus one to open) instead of two.  Unlike the singleton arm's
+            // span guard this does not record the event of an action that
+            // panics, but the batch's predecessors are already in the ring.
+            let n = actions.len() as u64;
+            let batch_t0 = if obs_enabled() { now_nanos() } else { 0 };
+            let mut prev = batch_t0;
             for run in actions {
                 let mut ctx = PartitionCtx::new(&db, design, token, &mut local_locks, txn_id);
                 let result = run(&mut ctx);
+                if obs_enabled() {
+                    let t = now_nanos();
+                    ring.event(TraceEvent::ExecuteAction, txn_id, prev, t - prev);
+                    prev = t;
+                }
                 let log = ctx.take_log();
                 reply.push(ActionReply { result, log });
+            }
+            if obs_enabled() {
+                ring.event(TraceEvent::ExecuteBatch, n, batch_t0, prev - batch_t0);
             }
             // One message-passing critical section and one wake per batch.
             db.stats().cs().enter(CsCategory::MessagePassing, false);

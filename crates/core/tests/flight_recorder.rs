@@ -1,0 +1,92 @@
+//! Flight-recorder autopsy: when a worker thread dies from an injected
+//! panic, the panic hook installed by `EngineConfig::with_flight_dump` must
+//! write a dump that parses and still holds the dead worker's last trace
+//! events — the whole point of a flight recorder is surviving the crash.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use plp_core::{
+    Action, ActionOutput, Design, Engine, EngineConfig, TableId, TableSpec, TransactionPlan,
+};
+use plp_instrument::json_is_valid;
+
+const TABLE: TableId = TableId(0);
+const KEY_SPACE: u64 = 4096;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "plp-flight-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn read_action(key: u64) -> Action {
+    Action::new(TABLE, key, move |ctx| {
+        ctx.read(TABLE, key)?;
+        Ok(ActionOutput::with_values(vec![key]))
+    })
+}
+
+#[test]
+fn worker_panic_writes_flight_dump_with_worker_trace() {
+    let dir = temp_dir("panic");
+    let dump_path = dir.join("flight_dump.json");
+    let config = EngineConfig::new(Design::PlpRegular)
+        .with_partitions(2)
+        .with_metrics_interval(Duration::from_millis(5))
+        .with_flight_dump(&dump_path);
+    let engine = Engine::start(config, &[TableSpec::new(0, "flight", KEY_SPACE)]);
+    for k in 0..64 {
+        engine
+            .db()
+            .load_record(TABLE, k, &k.to_le_bytes(), None)
+            .unwrap();
+    }
+    engine.finish_loading();
+
+    // A few healthy transactions first, so worker-0's trace ring holds
+    // execute events from before the fault.
+    let mut session = engine.session();
+    for k in 0..8 {
+        session
+            .execute(TransactionPlan::single(read_action(k)))
+            .expect("healthy transaction");
+    }
+    drop(session);
+
+    // Key 10 routes to worker 0 (keys below KEY_SPACE/2).  The worker dies
+    // mid-action, so its reply never arrives and `execute` would block
+    // forever — run it on a leaked thread and let the panic hook do its job.
+    let engine = Box::leak(Box::new(engine));
+    std::thread::spawn(|| {
+        let mut session = engine.session();
+        let _ = session.execute(TransactionPlan::single(Action::new(TABLE, 10, |_ctx| {
+            panic!("injected worker fault")
+        })));
+    });
+
+    // The hook runs synchronously inside panic!, before the worker finishes
+    // unwinding; poll briefly for the file to appear.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !dump_path.exists() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(dump_path.exists(), "panic hook never wrote {dump_path:?}");
+    let dump = std::fs::read_to_string(&dump_path).expect("read dump");
+    assert!(json_is_valid(&dump), "dump is not valid JSON: {dump}");
+    assert!(dump.contains("\"reason\":\"panic\""), "dump: {dump}");
+    // The dead worker's row and its last execute events survive in the dump.
+    assert!(dump.contains("\"worker-0\""), "no worker-0 row in dump");
+    assert!(dump.contains("\"execute\""), "no execute events in dump");
+    assert!(
+        dump.contains("\"latency\""),
+        "dump lacks histogram summaries"
+    );
+    // Engine is intentionally leaked: worker 0 is dead and a shutdown
+    // barrier would wait on it forever.
+}

@@ -21,19 +21,43 @@
 //! The counters are plain relaxed atomics: they are updated on hot paths by
 //! many threads, and the absolute precision of a counter is irrelevant — the
 //! paper reports counts per transaction aggregated over millions of events.
+//!
+//! Beyond counters, the observability layer adds latency *distributions*
+//! ([`histogram`]), per-thread event *timelines* ([`trace`]) and a bounded
+//! time-series *flight recorder* with panic-time autopsy dumps ([`recorder`]).
+//! See `docs/observability.md` for the metric → recording site → export
+//! catalogue. Building with the `obs-stub` feature compiles histogram and
+//! trace recording to no-ops; the `fig_obs` bench compares the two builds to
+//! keep the default-on overhead honest.
 
 #![forbid(unsafe_code)]
 
 pub mod breakdown;
+pub mod histogram;
 pub mod model;
+pub mod recorder;
 pub mod report;
 pub mod stats;
 pub mod sync;
 pub mod timer;
+pub mod trace;
 
 pub use breakdown::{BreakdownSnapshot, TimeBreakdown, TimeBucket};
+
+/// True unless the `obs-stub` feature compiled histogram/trace recording out.
+/// Inlines to a constant, so callers in other crates can write
+/// `if obs_enabled() { let t0 = now_nanos(); ... }` and have the whole block
+/// fold away in stubbed builds without declaring the feature themselves.
+#[inline(always)]
+pub const fn obs_enabled() -> bool {
+    cfg!(not(feature = "obs-stub"))
+}
+pub use histogram::{Histogram, HistogramSnapshot, LatencySnapshot, LatencyStats};
 pub use model::{model_check_snapshot, ModelCheckSnapshot};
-pub use report::{format_table, Cell, Table};
+pub use recorder::{
+    dump_all_targets, register_flight_dump, unregister_flight_dump, FlightRecorder, Sample,
+};
+pub use report::{format_table, json_is_valid, json_string_literal, Cell, Table};
 pub use stats::{
     ContentionClass, CsCategory, CsStats, CsStatsSnapshot, DlbStats, DlbStatsSnapshot, LatchStats,
     LatchStatsSnapshot, MsgStats, MsgStatsSnapshot, PageKind, StatsRegistry, StatsSnapshot,
@@ -41,6 +65,7 @@ pub use stats::{
 };
 pub use sync::{InstrumentedMutex, InstrumentedRwLock};
 pub use timer::ScopedTimer;
+pub use trace::{TraceEvent, TraceRecord, TraceRegistry, TraceRing, TraceScope};
 
 #[cfg(test)]
 mod tests {

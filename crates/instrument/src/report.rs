@@ -203,6 +203,87 @@ fn json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Structural JSON validity check: balanced containers, well-formed strings,
+/// numbers, and literals. This is *not* a parser — it exists so tests and the
+/// flight-recorder dump path can assert that our hand-rolled JSON emitters
+/// produce loadable documents without pulling in a serialization crate.
+pub fn json_is_valid(s: &str) -> bool {
+    let mut stack: Vec<char> = Vec::new();
+    let mut chars = s.chars().peekable();
+    // Tracks whether a value is legal at this point (vs. expecting ',' etc.);
+    // kept deliberately loose — the emitters, not arbitrary input, are under
+    // test. Structure (nesting, string escapes, token shape) is checked.
+    let mut saw_value = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '{' => {
+                stack.push('}');
+                saw_value = false;
+            }
+            '[' => {
+                stack.push(']');
+                saw_value = false;
+            }
+            '}' | ']' => {
+                if stack.pop() != Some(c) {
+                    return false;
+                }
+                saw_value = true;
+            }
+            '"' => {
+                loop {
+                    match chars.next() {
+                        None => return false,
+                        Some('\\') => match chars.next() {
+                            Some('u') => {
+                                for _ in 0..4 {
+                                    match chars.next() {
+                                        Some(h) if h.is_ascii_hexdigit() => {}
+                                        _ => return false,
+                                    }
+                                }
+                            }
+                            Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => {}
+                            _ => return false,
+                        },
+                        Some('"') => break,
+                        Some(c) if (c as u32) < 0x20 => return false,
+                        Some(_) => {}
+                    }
+                }
+                saw_value = true;
+            }
+            ',' | ':' => saw_value = false,
+            c if c.is_whitespace() => {}
+            c if c.is_ascii_digit() || c == '-' => {
+                while let Some(&n) = chars.peek() {
+                    if n.is_ascii_digit() || matches!(n, '.' | 'e' | 'E' | '+' | '-') {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                saw_value = true;
+            }
+            't' | 'f' | 'n' => {
+                let word = match c {
+                    't' => "rue",
+                    'f' => "alse",
+                    _ => "ull",
+                };
+                for expect in word.chars() {
+                    if chars.next() != Some(expect) {
+                        return false;
+                    }
+                }
+                saw_value = true;
+            }
+            _ => return false,
+        }
+    }
+    stack.is_empty() && saw_value
+}
+
 /// Render a [`Table`] with aligned columns.
 pub fn format_table(table: &Table) -> String {
     let ncols = table
@@ -308,6 +389,23 @@ mod tests {
             "{\"title\":\"fig \\\"x\\\"\",\"columns\":[\"design\",\"tps\"],\
              \"rows\":[[\"a\\\\b\",1.5],[\"c\",null]]}"
         );
+    }
+
+    #[test]
+    fn json_validity_checker() {
+        assert!(json_is_valid(
+            "{\"a\":[1,2.5,-3e4],\"b\":\"x\\n\",\"c\":null}"
+        ));
+        assert!(json_is_valid("[]"));
+        assert!(json_is_valid("{\"t\":true,\"f\":false}"));
+        assert!(!json_is_valid("{\"a\":[1,2}"));
+        assert!(!json_is_valid("{\"a\": \"unterminated"));
+        assert!(!json_is_valid("{\"bad\\q\": 1}"));
+        assert!(!json_is_valid(""));
+        assert!(!json_is_valid("@"));
+        let mut t = Table::new("fig", &["a"]);
+        t.row(vec![Cell::from("x\"y")]);
+        assert!(json_is_valid(&t.render_json()));
     }
 
     #[test]

@@ -678,8 +678,10 @@ pub struct MsgStats {
     batches: AtomicU64,
     /// Actions carried inside batched dispatches.
     batch_actions: AtomicU64,
-    /// Actions-per-batch histogram: 2, 3–4, 5–8, 9–16, 17+ actions.
-    batch_size_buckets: [AtomicU64; 5],
+    /// Full actions-per-batch distribution. The legacy 5-bucket view in
+    /// [`MsgStatsSnapshot::batch_size_buckets`] is recomputed from this
+    /// exactly (all five legacy boundaries fall on histogram bucket edges).
+    batch_hist: crate::histogram::Histogram,
     /// Dispatches (single or batch) that took a session's SPSC fast lane.
     lane_hits: AtomicU64,
     /// Dispatches that went over the shared MPMC queue instead (lane full,
@@ -724,14 +726,7 @@ impl MsgStats {
     pub fn batch_sent(&self, actions: u64, fast_lane: bool) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batch_actions.fetch_add(actions, Ordering::Relaxed);
-        let bucket = match actions {
-            0..=2 => 0,
-            3..=4 => 1,
-            5..=8 => 2,
-            9..=16 => 3,
-            _ => 4,
-        };
-        self.batch_size_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.batch_hist.record(actions);
         self.dispatch_sent(fast_lane);
     }
 
@@ -757,13 +752,7 @@ impl MsgStats {
             wakeups: self.wakeups.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batch_actions: self.batch_actions.load(Ordering::Relaxed),
-            batch_size_buckets: [
-                self.batch_size_buckets[0].load(Ordering::Relaxed),
-                self.batch_size_buckets[1].load(Ordering::Relaxed),
-                self.batch_size_buckets[2].load(Ordering::Relaxed),
-                self.batch_size_buckets[3].load(Ordering::Relaxed),
-                self.batch_size_buckets[4].load(Ordering::Relaxed),
-            ],
+            batch_size_buckets: Self::legacy_buckets(&self.batch_hist.snapshot()),
             lane_hits: self.lane_hits.load(Ordering::Relaxed),
             lane_fallbacks: self.lane_fallbacks.load(Ordering::Relaxed),
         }
@@ -780,11 +769,40 @@ impl MsgStats {
         self.wakeups.store(0, Ordering::Relaxed);
         self.batches.store(0, Ordering::Relaxed);
         self.batch_actions.store(0, Ordering::Relaxed);
-        for bucket in &self.batch_size_buckets {
-            bucket.store(0, Ordering::Relaxed);
-        }
+        self.batch_hist.reset();
         self.lane_hits.store(0, Ordering::Relaxed);
         self.lane_fallbacks.store(0, Ordering::Relaxed);
+    }
+
+    /// Full actions-per-batch distribution (quantile-capable superset of the
+    /// legacy 5-bucket view).
+    pub fn batch_size_histogram(&self) -> crate::histogram::HistogramSnapshot {
+        self.batch_hist.snapshot()
+    }
+
+    /// Collapse the histogram into the legacy 2 / 3–4 / 5–8 / 9–16 / 17+
+    /// buckets. Exact: below 16 every histogram bucket holds one value, and
+    /// value 16 has a dedicated bucket (the first of the 16–31 octave), so
+    /// each legacy boundary coincides with a histogram bucket edge.
+    fn legacy_buckets(h: &crate::histogram::HistogramSnapshot) -> [u64; 5] {
+        use crate::histogram::{bucket_index, bucket_range};
+        let mut out = [0u64; 5];
+        for (i, &n) in h.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let (lo, _) = bucket_range(i);
+            let legacy = match lo {
+                0..=2 => 0,
+                3..=4 => 1,
+                5..=8 => 2,
+                9..=16 => 3,
+                _ => 4,
+            };
+            out[legacy] += n;
+        }
+        debug_assert_eq!(bucket_range(bucket_index(16)), (16, 16));
+        out
     }
 }
 
@@ -882,6 +900,13 @@ pub struct StatsRegistry {
     /// Nanoseconds spent waiting to enter an SMO (the ARIES/KVL one-SMO-at-a-time
     /// serialization the paper calls out; shown as "Latch-smo" in Figure 10).
     smo_wait_nanos: AtomicU64,
+    /// Latency histograms (action round-trip, dispatch, WAL, locks, DLB).
+    /// Snapshotted separately from [`StatsSnapshot`] (which stays `Copy`):
+    /// see [`StatsRegistry::latency`] and
+    /// [`LatencyStats::snapshot`](crate::LatencyStats::snapshot).
+    latency: crate::histogram::LatencyStats,
+    /// Per-thread trace rings (see [`crate::trace`]).
+    trace: crate::trace::TraceRegistry,
 }
 
 impl StatsRegistry {
@@ -911,6 +936,16 @@ impl StatsRegistry {
 
     pub fn msg(&self) -> &MsgStats {
         &self.msg
+    }
+
+    /// The engine's latency histograms.
+    pub fn latency(&self) -> &crate::histogram::LatencyStats {
+        &self.latency
+    }
+
+    /// The engine's per-thread trace rings.
+    pub fn trace(&self) -> &crate::trace::TraceRegistry {
+        &self.trace
     }
 
     #[inline]
@@ -973,6 +1008,8 @@ impl StatsRegistry {
         self.aborted_txns.store(0, Ordering::Relaxed);
         self.smo_count.store(0, Ordering::Relaxed);
         self.smo_wait_nanos.store(0, Ordering::Relaxed);
+        self.latency.reset();
+        self.trace.reset();
     }
 }
 

@@ -1,0 +1,461 @@
+//! Allocation-free per-thread event tracing with chrome://tracing export.
+//!
+//! Each traced thread (worker, session, WAL flusher) owns a [`TraceRing`]: a
+//! fixed-capacity ring of 4-word events (start, duration, kind+arg, sequence
+//! number) stored as relaxed atomics. Recording an event is four word stores
+//! plus a release head bump — no allocation, no locks, cheap enough to stay
+//! on by default (and compiled out entirely under the `obs-stub` feature).
+//!
+//! Rings are *single-writer*: only the owning thread records into its ring.
+//! Readers (the trace dump, the flight recorder) run concurrently and
+//! tolerate torn entries — an event being overwritten while read is detected
+//! by its sequence word not matching the expected sequence and skipped. A
+//! torn entry can at worst drop or garble one display row; every access is an
+//! atomic load, so there is no undefined behavior (this crate stays
+//! `#![forbid(unsafe_code)]`).
+//!
+//! [`TraceRegistry::chrome_json`] renders every ring as a Trace Event JSON
+//! document: open chrome://tracing (or <https://ui.perfetto.dev>) and load
+//! the file to see multi-stage transactions as nested spans across worker
+//! rows.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::report::json_string_literal;
+
+/// Events per ring. At 4 words/event this is 32 KiB per traced thread.
+pub const DEFAULT_RING_EVENTS: usize = 1024;
+
+/// Rings retained by a [`TraceRegistry`]; registrations beyond this are
+/// still handed a working ring, it just isn't dumped (bounds memory when a
+/// process churns through many short-lived sessions).
+const MAX_RINGS: usize = 512;
+
+const WORDS_PER_EVENT: usize = 4;
+
+/// `dur` sentinel marking an instant event (chrome `ph:"i"`).
+const INSTANT: u64 = u64::MAX;
+
+/// Process-wide trace clock origin: all trace timestamps are nanoseconds
+/// since the first trace call, so rings from different threads align.
+fn origin() -> &'static Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    ORIGIN.get_or_init(Instant::now)
+}
+
+/// Nanoseconds on the shared trace clock.
+#[inline]
+pub fn now_nanos() -> u64 {
+    origin().elapsed().as_nanos() as u64
+}
+
+/// What happened. The discriminant is packed into the event's third word
+/// (low 8 bits) next to a 56-bit argument (transaction id, worker index,
+/// action count — whatever the site finds useful).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceEvent {
+    /// Whole client transaction (session ring; arg = txn id).
+    Txn = 1,
+    /// Routing one stage's actions to workers (session ring; arg = actions).
+    Route = 2,
+    /// Dispatch of one stage: enqueue on every target worker (session ring;
+    /// arg = actions).
+    Dispatch = 3,
+    /// One action enqueued on a worker's SPSC fast lane (arg = worker).
+    LaneSend = 4,
+    /// One action enqueued on a worker's MPMC queue (arg = worker).
+    QueueSend = 5,
+    /// One batched dispatch enqueued (arg = actions in the batch).
+    BatchDispatch = 6,
+    /// Waiting for all of a stage's replies (session ring; arg = replies).
+    ReplyWait = 7,
+    /// One reply consumed (session ring; arg = worker).
+    ReplyWake = 8,
+    /// One action executing on a worker (worker ring; arg = txn id).
+    ExecuteAction = 9,
+    /// One dispatch batch executing on a worker (worker ring; arg = actions).
+    ExecuteBatch = 10,
+    /// Transaction committed (session ring; arg = txn id).
+    Commit = 11,
+    /// Transaction aborted (session ring; arg = txn id).
+    Abort = 12,
+    /// One group-commit batch flushed (flusher ring; arg = records).
+    LogFlush = 13,
+    /// Repartition drain + move (arg = table id).
+    Repartition = 14,
+}
+
+impl TraceEvent {
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEvent::Txn => "txn",
+            TraceEvent::Route => "route",
+            TraceEvent::Dispatch => "dispatch",
+            TraceEvent::LaneSend => "lane_send",
+            TraceEvent::QueueSend => "queue_send",
+            TraceEvent::BatchDispatch => "batch_dispatch",
+            TraceEvent::ReplyWait => "reply_wait",
+            TraceEvent::ReplyWake => "reply_wake",
+            TraceEvent::ExecuteAction => "execute",
+            TraceEvent::ExecuteBatch => "execute_batch",
+            TraceEvent::Commit => "commit",
+            TraceEvent::Abort => "abort",
+            TraceEvent::LogFlush => "log_flush",
+            TraceEvent::Repartition => "repartition",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => TraceEvent::Txn,
+            2 => TraceEvent::Route,
+            3 => TraceEvent::Dispatch,
+            4 => TraceEvent::LaneSend,
+            5 => TraceEvent::QueueSend,
+            6 => TraceEvent::BatchDispatch,
+            7 => TraceEvent::ReplyWait,
+            8 => TraceEvent::ReplyWake,
+            9 => TraceEvent::ExecuteAction,
+            10 => TraceEvent::ExecuteBatch,
+            11 => TraceEvent::Commit,
+            12 => TraceEvent::Abort,
+            13 => TraceEvent::LogFlush,
+            14 => TraceEvent::Repartition,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded ring entry.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceRecord {
+    pub start_nanos: u64,
+    /// `None` for instant events.
+    pub dur_nanos: Option<u64>,
+    pub kind: TraceEvent,
+    pub arg: u64,
+    pub seq: u64,
+}
+
+/// Fixed-capacity single-writer ring of trace events.
+pub struct TraceRing {
+    id: u64,
+    label: String,
+    words: Box<[AtomicU64]>,
+    /// Total events ever written; `head % capacity` is the next slot.
+    head: AtomicU64,
+}
+
+impl TraceRing {
+    fn new(id: u64, label: String, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let words: Vec<AtomicU64> = (0..capacity * WORDS_PER_EVENT)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Self {
+            id,
+            label,
+            words: words.into_boxed_slice(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn capacity(&self) -> u64 {
+        (self.words.len() / WORDS_PER_EVENT) as u64
+    }
+
+    /// Record a completed span. Single-writer: call only from the owning
+    /// thread. Compiled out under `obs-stub`.
+    #[inline]
+    pub fn event(&self, kind: TraceEvent, arg: u64, start_nanos: u64, dur_nanos: u64) {
+        self.push(start_nanos, dur_nanos, kind, arg);
+    }
+
+    /// Record an instant event stamped now.
+    #[inline]
+    pub fn instant(&self, kind: TraceEvent, arg: u64) {
+        if !cfg!(feature = "obs-stub") {
+            self.push(now_nanos(), INSTANT, kind, arg);
+        }
+    }
+
+    /// Record an instant event at a timestamp the caller already read —
+    /// hot paths that just computed a `now_nanos()` for something else
+    /// (a round-trip delta, a span end) reuse it instead of paying a
+    /// second clock read.
+    #[inline]
+    pub fn instant_at(&self, kind: TraceEvent, arg: u64, at_nanos: u64) {
+        self.push(at_nanos, INSTANT, kind, arg);
+    }
+
+    /// Open a span that records itself when the guard drops.
+    #[inline]
+    pub fn span(&self, kind: TraceEvent, arg: u64) -> TraceScope<'_> {
+        let start = if cfg!(feature = "obs-stub") {
+            0
+        } else {
+            now_nanos()
+        };
+        TraceScope {
+            ring: self,
+            kind,
+            arg,
+            start,
+        }
+    }
+
+    #[inline]
+    fn push(&self, start_nanos: u64, dur_nanos: u64, kind: TraceEvent, arg: u64) {
+        #[cfg(not(feature = "obs-stub"))]
+        {
+            let seq = self.head.load(Ordering::Relaxed);
+            let base = (seq % self.capacity()) as usize * WORDS_PER_EVENT;
+            self.words[base].store(start_nanos, Ordering::Relaxed);
+            self.words[base + 1].store(dur_nanos, Ordering::Relaxed);
+            self.words[base + 2].store(kind as u64 | (arg << 8), Ordering::Relaxed);
+            self.words[base + 3].store(seq + 1, Ordering::Relaxed);
+            // Publish: readers that observe the new head see the words above.
+            self.head.store(seq + 1, Ordering::Release);
+        }
+        #[cfg(feature = "obs-stub")]
+        {
+            let _ = (start_nanos, dur_nanos, kind, arg);
+        }
+    }
+
+    /// Decode the retained events, oldest first. Entries overwritten (or
+    /// half-written) while being read fail the sequence check and are
+    /// skipped.
+    pub fn read(&self) -> Vec<TraceRecord> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.capacity();
+        let first = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - first) as usize);
+        for seq in first..head {
+            let base = (seq % cap) as usize * WORDS_PER_EVENT;
+            let start = self.words[base].load(Ordering::Relaxed);
+            let dur = self.words[base + 1].load(Ordering::Relaxed);
+            let kind_arg = self.words[base + 2].load(Ordering::Relaxed);
+            let tag = self.words[base + 3].load(Ordering::Relaxed);
+            if tag != seq + 1 {
+                continue; // torn: overwritten by the writer mid-read
+            }
+            let Some(kind) = TraceEvent::from_u8((kind_arg & 0xFF) as u8) else {
+                continue;
+            };
+            out.push(TraceRecord {
+                start_nanos: start,
+                dur_nanos: if dur == INSTANT { None } else { Some(dur) },
+                kind,
+                arg: kind_arg >> 8,
+                seq,
+            });
+        }
+        out
+    }
+
+    fn reset(&self) {
+        // Zeroing the sequence words invalidates every retained entry; the
+        // head restarts so new events re-stamp them.
+        for i in 0..self.capacity() {
+            self.words[i as usize * WORDS_PER_EVENT + 3].store(0, Ordering::Relaxed);
+        }
+        self.head.store(0, Ordering::Release);
+    }
+}
+
+/// Span guard returned by [`TraceRing::span`].
+pub struct TraceScope<'a> {
+    ring: &'a TraceRing,
+    kind: TraceEvent,
+    arg: u64,
+    start: u64,
+}
+
+impl Drop for TraceScope<'_> {
+    fn drop(&mut self) {
+        if !cfg!(feature = "obs-stub") {
+            let dur = now_nanos().saturating_sub(self.start);
+            self.ring.event(self.kind, self.arg, self.start, dur);
+        }
+    }
+}
+
+/// All of a process's trace rings, owned by
+/// [`StatsRegistry`](crate::StatsRegistry).
+#[derive(Default)]
+pub struct TraceRegistry {
+    rings: Mutex<Vec<Arc<TraceRing>>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRegistry")
+            .field("rings", &self.rings.lock().len())
+            .finish()
+    }
+}
+
+impl TraceRegistry {
+    /// Create and retain a ring for the calling thread. Labels become
+    /// chrome://tracing row names (`worker-0`, `session-3`, `wal-flusher`).
+    pub fn register(&self, label: impl Into<String>) -> Arc<TraceRing> {
+        self.register_with_capacity(label, DEFAULT_RING_EVENTS)
+    }
+
+    pub fn register_with_capacity(
+        &self,
+        label: impl Into<String>,
+        capacity: usize,
+    ) -> Arc<TraceRing> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let ring = Arc::new(TraceRing::new(id, label.into(), capacity));
+        let mut rings = self.rings.lock();
+        if rings.len() < MAX_RINGS {
+            rings.push(ring.clone());
+        }
+        ring
+    }
+
+    /// Snapshot every retained ring as `(label, events)`.
+    pub fn read_all(&self) -> Vec<(String, Vec<TraceRecord>)> {
+        let rings = self.rings.lock();
+        rings.iter().map(|r| (r.label.clone(), r.read())).collect()
+    }
+
+    /// Render every ring as a chrome://tracing Trace Event JSON document.
+    /// Timestamps are microseconds on the shared trace clock; each ring is
+    /// one thread row (`tid` = ring id) under `pid` 1.
+    pub fn chrome_json(&self) -> String {
+        let rings = self.rings.lock();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"plp-engine\"}}",
+        );
+        for ring in rings.iter() {
+            out.push(',');
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":{}}}}}",
+                ring.id,
+                json_string_literal(&ring.label)
+            ));
+        }
+        for ring in rings.iter() {
+            for ev in ring.read() {
+                let ts = ev.start_nanos as f64 / 1_000.0;
+                out.push(',');
+                match ev.dur_nanos {
+                    Some(dur) => out.push_str(&format!(
+                        "{{\"name\":\"{}\",\"cat\":\"plp\",\"ph\":\"X\",\"pid\":1,\
+                         \"tid\":{},\"ts\":{ts:.3},\"dur\":{:.3},\
+                         \"args\":{{\"arg\":{}}}}}",
+                        ev.kind.name(),
+                        ring.id,
+                        dur as f64 / 1_000.0,
+                        ev.arg
+                    )),
+                    None => out.push_str(&format!(
+                        "{{\"name\":\"{}\",\"cat\":\"plp\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":1,\"tid\":{},\"ts\":{ts:.3},\
+                         \"args\":{{\"arg\":{}}}}}",
+                        ev.kind.name(),
+                        ring.id,
+                        ev.arg
+                    )),
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Clear every retained ring and drop rings whose owning thread is gone
+    /// (we hold the only reference).
+    pub fn reset(&self) {
+        let mut rings = self.rings.lock();
+        rings.retain(|r| Arc::strong_count(r) > 1);
+        for r in rings.iter() {
+            r.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_records_and_reads_back() {
+        let reg = TraceRegistry::default();
+        let ring = reg.register("worker-0");
+        ring.instant(TraceEvent::Commit, 7);
+        {
+            let _s = ring.span(TraceEvent::ExecuteAction, 42);
+        }
+        let events = ring.read();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, TraceEvent::Commit);
+        assert_eq!(events[0].arg, 7);
+        assert!(events[0].dur_nanos.is_none());
+        assert_eq!(events[1].kind, TraceEvent::ExecuteAction);
+        assert_eq!(events[1].arg, 42);
+        assert!(events[1].dur_nanos.is_some());
+    }
+
+    #[test]
+    fn ring_wraps_keeping_latest() {
+        let reg = TraceRegistry::default();
+        let ring = reg.register_with_capacity("w", 8);
+        for i in 0..20u64 {
+            ring.instant(TraceEvent::ReplyWake, i);
+        }
+        let events = ring.read();
+        assert_eq!(events.len(), 8);
+        assert_eq!(events.first().unwrap().arg, 12);
+        assert_eq!(events.last().unwrap().arg, 19);
+    }
+
+    #[test]
+    fn chrome_json_has_thread_rows_and_events() {
+        let reg = TraceRegistry::default();
+        let w0 = reg.register("worker-0");
+        let w1 = reg.register("worker-1");
+        w0.instant(TraceEvent::Commit, 1);
+        {
+            let _s = w1.span(TraceEvent::ExecuteAction, 2);
+        }
+        let json = reg.chrome_json();
+        assert!(json.contains("\"worker-0\""));
+        assert!(json.contains("\"worker-1\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(crate::report::json_is_valid(&json), "invalid JSON: {json}");
+    }
+
+    #[test]
+    fn reset_clears_and_prunes() {
+        let reg = TraceRegistry::default();
+        let kept = reg.register("kept");
+        {
+            let _dropped = reg.register("dropped");
+        }
+        kept.instant(TraceEvent::Commit, 1);
+        reg.reset();
+        assert!(kept.read().is_empty());
+        let labels: Vec<String> = reg.read_all().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["kept".to_string()]);
+    }
+}

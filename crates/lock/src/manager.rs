@@ -188,9 +188,11 @@ impl LockManager {
             if head.compatible_for(txn, mode) {
                 head.grant(txn, mode);
                 if waited {
+                    let waited_for = wait_start.elapsed();
                     if let Some(bd) = breakdown {
-                        bd.add(TimeBucket::LockWait, wait_start.elapsed());
+                        bd.add(TimeBucket::LockWait, waited_for);
                     }
+                    self.stats.latency().lock_wait.record_duration(waited_for);
                     return Ok(LockRequestOutcome::GrantedAfterWait);
                 }
                 return Ok(LockRequestOutcome::Granted);
@@ -199,9 +201,11 @@ impl LockManager {
             waited = true;
             let timeout_res = condvar.wait_until(&mut shard, deadline);
             if timeout_res.timed_out() {
+                let waited_for = wait_start.elapsed();
                 if let Some(bd) = breakdown {
-                    bd.add(TimeBucket::LockWait, wait_start.elapsed());
+                    bd.add(TimeBucket::LockWait, waited_for);
                 }
+                self.stats.latency().lock_wait.record_duration(waited_for);
                 return Err(LockError::Timeout { id, mode });
             }
         }

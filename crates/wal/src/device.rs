@@ -17,6 +17,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use plp_instrument::StatsRegistry;
@@ -255,8 +256,13 @@ impl LogDevice {
     /// base LSN is the next record's LSN.
     fn roll(&self, state: &mut DeviceState) -> io::Result<()> {
         if let Some(old) = state.current.take() {
+            let fsync_start = Instant::now();
             old.file.sync_data()?;
             self.stats.wal().fsync();
+            self.stats
+                .latency()
+                .wal_fsync
+                .record_duration(fsync_start.elapsed());
         }
         let base = state.next_lsn;
         let path = self.dir.join(segment_file_name(base));
@@ -281,8 +287,13 @@ impl LogDevice {
     pub fn sync(&self) -> io::Result<()> {
         let state = self.state.lock();
         if let Some(current) = &state.current {
+            let fsync_start = Instant::now();
             current.file.sync_data()?;
             self.stats.wal().fsync();
+            self.stats
+                .latency()
+                .wal_fsync
+                .record_duration(fsync_start.elapsed());
         }
         Ok(())
     }

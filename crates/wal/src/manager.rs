@@ -7,10 +7,11 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use plp_instrument::{CsCategory, StatsRegistry, TimeBreakdown, TimeBucket};
+use plp_instrument::trace::now_nanos;
+use plp_instrument::{CsCategory, StatsRegistry, TimeBreakdown, TimeBucket, TraceEvent};
 
 use crate::buffer::{InsertProtocol, LogBuffer};
 use crate::device::LogDevice;
@@ -318,9 +319,11 @@ impl LogManager {
     /// fsync if the durability mode demands it, and advance the durable
     /// LSNs.  Shared by the flusher thread and [`Self::flush_now`];
     /// `force_sync` additionally fsyncs regardless of mode.
-    fn flush_batch(&self, force_sync: bool) -> Lsn {
+    fn flush_batch(&self, force_sync: bool) -> (Lsn, usize) {
         let _round = self.flush_lock.lock();
+        let flush_start = Instant::now();
         let (tail, records) = self.buffer.drain();
+        let flushed = records.len();
         match &self.device {
             Some(device) => {
                 if let Err(e) = device.append_batch(&records) {
@@ -361,7 +364,16 @@ impl LogManager {
             }
         }
         self.flusher.flushed.notify_all();
-        tail
+        // Only batches that carried records land in the histogram: an idle
+        // Strict flusher wakes every interval and would otherwise drown the
+        // distribution in no-op drains.
+        if flushed > 0 {
+            self.stats
+                .latency()
+                .wal_flush
+                .record_duration(flush_start.elapsed());
+        }
+        (tail, flushed)
     }
 
     /// A log-device I/O failure is fatal for durability: mark the manager
@@ -386,12 +398,23 @@ impl LogManager {
         let handle = std::thread::Builder::new()
             .name("plp-log-flusher".into())
             .spawn(move || {
+                // One chrome://tracing row for the group-commit flusher.
+                let ring = mgr.stats.trace().register("wal-flusher");
                 while !state.shutdown.load(Ordering::Acquire) {
                     {
                         let mut durable = state.durable.lock();
                         state.wakeup.wait_for(&mut durable, interval);
                     }
-                    mgr.flush_batch(false);
+                    let t0 = now_nanos();
+                    let (_, flushed) = mgr.flush_batch(false);
+                    if flushed > 0 {
+                        ring.event(
+                            TraceEvent::LogFlush,
+                            flushed as u64,
+                            t0,
+                            now_nanos().saturating_sub(t0),
+                        );
+                    }
                 }
                 // Final drain so a graceful shutdown leaves nothing behind.
                 mgr.flush_batch(true);

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use plp_core::{Engine, EngineConfig, EngineError};
-use plp_instrument::{BreakdownSnapshot, StatsSnapshot};
+use plp_instrument::{BreakdownSnapshot, LatencySnapshot, StatsSnapshot};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -26,6 +26,9 @@ pub struct RunResult {
     pub elapsed: Duration,
     pub stats: StatsSnapshot,
     pub breakdown: BreakdownSnapshot,
+    /// Latency histogram deltas (action round-trip, stage dispatch, WAL
+    /// fsync/flush, lock wait, repartition) covering the measured interval.
+    pub latency: LatencySnapshot,
 }
 
 impl RunResult {
@@ -97,6 +100,7 @@ fn run_inner(
     // of the run so the snapshot delta covers exactly this interval.
     engine.db().sync_channel_metrics();
     let before = engine.db().stats().snapshot();
+    let latency_before = engine.db().stats().latency().snapshot();
     let breakdown_before = engine.db().breakdown().snapshot();
     let start = Instant::now();
 
@@ -144,6 +148,7 @@ fn run_inner(
     let elapsed = start.elapsed();
     engine.db().sync_channel_metrics();
     let after = engine.db().stats().snapshot();
+    let latency_after = engine.db().stats().latency().snapshot();
     let breakdown_after = engine.db().breakdown().snapshot();
     let _ = breakdown_before; // breakdown snapshots are cumulative; report the final one
     RunResult {
@@ -155,6 +160,7 @@ fn run_inner(
         elapsed,
         stats: after.delta(&before),
         breakdown: breakdown_after,
+        latency: latency_after.delta(&latency_before),
     }
 }
 

@@ -1,22 +1,32 @@
 #!/usr/bin/env bash
-# Perf-regression gate: compare a fresh message-passing microbench run
-# against the committed baseline.  Thin wrapper so CI and developers invoke
-# the same logic (the real comparison lives in `plp-bench`'s `check_bench`
-# binary and is unit-tested there).
+# Perf-regression gate: compare a fresh message-passing microbench run (and,
+# optionally, a fresh observability-overhead run) against the committed
+# baseline.  Thin wrapper so CI and developers invoke the same logic (the
+# real comparison lives in `plp-bench`'s `check_bench` binary and is
+# unit-tested there).
 #
-# usage: scripts/check_bench.sh [current.json] [baseline.json] [threshold]
+# usage: scripts/check_bench.sh [current.json] [baseline.json] [threshold] [obs-current.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 current="${1:-bench_msgcost.json}"
 baseline="${2:-BENCH_BASELINE.json}"
 threshold="${3:-0.30}"
+obs_current="${4:-}"
 
 if [[ ! -f "$current" ]]; then
   echo "check_bench.sh: $current not found — run:" >&2
   echo "  cargo run --release -p plp-bench --bin fig_msgcost -- --json $current" >&2
   exit 2
 fi
+if [[ -n "$obs_current" && ! -f "$obs_current" ]]; then
+  echo "check_bench.sh: $obs_current not found — run:" >&2
+  echo "  cargo run --release -p plp-bench --bin fig_obs -- --json $obs_current" >&2
+  exit 2
+fi
 
-exec cargo run --release -q -p plp-bench --bin check_bench -- \
-  "$current" "$baseline" "$threshold"
+args=("$current" "$baseline" "$threshold")
+if [[ -n "$obs_current" ]]; then
+  args+=("$obs_current")
+fi
+exec cargo run --release -q -p plp-bench --bin check_bench -- "${args[@]}"

@@ -1,0 +1,82 @@
+//! Property-based tests for the log-linear latency histogram.
+
+use proptest::prelude::*;
+
+use plp_instrument::histogram::{bucket_index, bucket_range};
+use plp_instrument::Histogram;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The reported quantile is the upper bound of the bucket holding the
+    /// true rank-order sample: at least the true value, and no further above
+    /// it than that bucket's width.
+    #[test]
+    fn quantile_brackets_true_value(
+        values in prop::collection::vec(0u64..2_000_000, 1..400),
+        pct in 1u64..=100,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let q = pct as f64 / 100.0;
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let true_value = sorted[rank - 1];
+        let reported = h.quantile(q);
+        let (lo, hi) = bucket_range(bucket_index(true_value));
+        prop_assert!(reported >= true_value, "reported {reported} < true {true_value}");
+        prop_assert_eq!(reported, hi, "true value in [{}, {}]", lo, hi);
+    }
+
+    /// Merging two histograms is indistinguishable from recording both
+    /// sample sets into one histogram.
+    #[test]
+    fn merge_equals_bulk_recording(
+        a in prop::collection::vec(0u64..10_000_000, 0..300),
+        b in prop::collection::vec(0u64..10_000_000, 0..300),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let bulk = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            bulk.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            bulk.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.snapshot(), bulk.snapshot());
+    }
+
+    /// Concurrent recording from several threads loses no samples: the
+    /// merged result has exactly the counts, sum and buckets of a serial
+    /// recording of the same values.
+    #[test]
+    fn concurrent_recording_loses_no_counts(
+        values in prop::collection::vec(0u64..5_000_000, 1..400),
+        threads in 2usize..6,
+    ) {
+        let shared = Histogram::new();
+        let chunk = values.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in values.chunks(chunk) {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for &v in part {
+                        shared.record(v);
+                    }
+                });
+            }
+        });
+        let serial = Histogram::new();
+        for &v in &values {
+            serial.record(v);
+        }
+        prop_assert_eq!(shared.snapshot(), serial.snapshot());
+    }
+}
