@@ -2,7 +2,8 @@
 //! build with the `obs-stub` feature, plus demo trace / flight-recorder
 //! artifacts.
 //!
-//! Usage: `fig_obs [--full] [--json [path]] [--trace [path]] [--measure-only]`
+//! Usage: `fig_obs [--full] [--json [path]] [--trace [path]] [--audit [path]]
+//! [--measure-only]`
 //!
 //! `--measure-only` prints this build's throughput as a `MEASURE_TPS` line
 //! and exits — the mode the instrumented parent invokes on the stubbed child
@@ -10,10 +11,12 @@
 //! both sides, prints the comparison table, and with `--json` writes the gate
 //! document consumed by `check_bench`.  `--trace` writes the chrome://tracing
 //! document of one three-stage partitioned transaction and the flight
-//! recorder's dump next to it.
+//! recorder's dump next to it.  `--audit` runs a DLB-enabled burst and writes
+//! the decision audit log plus the slow-transaction reservoir (the nightly CI
+//! artifacts).
 
 use plp_bench::obs::{
-    is_stubbed, measure_stubbed_tps, measure_tps, obs_json, obs_table, trace_demo, ObsResult,
+    audit_artifacts, is_stubbed, measure_overhead, measure_tps, obs_json, obs_table, trace_demo,
 };
 use plp_bench::{print_tables, Scale};
 
@@ -35,19 +38,13 @@ fn main() {
         std::process::exit(2);
     }
 
-    eprintln!("measuring instrumented build...");
-    let instrumented_tps = measure_tps(scale);
-    eprintln!("measuring stubbed build (cargo re-run with --features obs-stub)...");
-    let stubbed_tps = match measure_stubbed_tps(full) {
-        Ok(v) => v,
+    eprintln!("measuring instrumented vs stubbed (interleaved rounds)...");
+    let result = match measure_overhead(scale, full) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("fig_obs: {e}");
             std::process::exit(2);
         }
-    };
-    let result = ObsResult {
-        instrumented_tps,
-        stubbed_tps,
     };
     print_tables(&[obs_table(&result)]);
 
@@ -74,5 +71,23 @@ fn main() {
         std::fs::write(trace_path, trace).expect("write trace json");
         std::fs::write(&dump_path, dump).expect("write flight dump");
         eprintln!("wrote {trace_path} and {dump_path}");
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--audit") {
+        let decisions_path = args
+            .get(pos + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("fig_obs_decisions.json");
+        let slow_path = format!(
+            "{}_slow.json",
+            decisions_path
+                .strip_suffix("_decisions.json")
+                .or_else(|| decisions_path.strip_suffix(".json"))
+                .unwrap_or(decisions_path)
+        );
+        let (decisions, slow) = audit_artifacts(scale);
+        std::fs::write(decisions_path, decisions).expect("write decision audit log");
+        std::fs::write(&slow_path, slow).expect("write slow reservoir");
+        eprintln!("wrote {decisions_path} and {slow_path}");
     }
 }

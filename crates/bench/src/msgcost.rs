@@ -60,11 +60,24 @@ pub const SPSC_RATIO_FLOOR: f64 = 1.10;
 
 /// Floor for the engine-TATP/lock-free pipelined ratio limit.  The engine
 /// round trip includes action execution, logging and scheduler noise on top
-/// of the raw message exchange, so its run-to-run variance is much larger
-/// than the microbenchmark's; the floor keeps host-load swings from tripping
-/// the gate while still catching a hot-path collapse (which shows up as an
-/// order of magnitude, not tens of percent).
-pub const ENGINE_RATIO_FLOOR: f64 = 30.0;
+/// of the raw message exchange, so its run-to-run variance is larger than
+/// the microbenchmark's; the floor keeps host-load swings from tripping the
+/// gate.  The committed baselines sit at ~9x (2 threads) and ~27x
+/// (4 threads, measured on a 1-vCPU container), so at low thread counts the
+/// floor — not the relative rule — is the binding limit; 15x gives the 9x
+/// point ~65% headroom for scheduler swings while catching a regression the
+/// old 30x floor would have let triple first.  At thread counts where the
+/// baseline itself exceeds the floor, the relative rule binds as usual.
+pub const ENGINE_RATIO_FLOOR: f64 = 15.0;
+
+/// Hard cap on the engine-TATP limit.  The relative rule scales the limit
+/// with the committed baseline, so a bloated baseline (refreshed on a loaded
+/// box, or after an unnoticed regression) would keep rubber-stamping equally
+/// bloated runs forever.  Past 60x the engine round trip costs more than an
+/// order of magnitude over the raw message exchange on every host we have
+/// measured — that is a hot-path collapse regardless of what the baseline
+/// says, so the point fails even when it is within 30% of it.
+pub const ENGINE_RATIO_CAP: f64 = 60.0;
 
 /// One measured thread-count point.  The `Option` fields were added after
 /// the first committed baselines; parsing tolerates their absence so an old
@@ -777,25 +790,29 @@ pub fn check_against_baseline(
         // SPSC lane and engine-level TATP shapes: regression-gated against
         // the baseline when both sides measured them (each ratio is against
         // the same run's lock-free pipelined cost, so it transfers across
-        // hosts), with shape-specific parity floors.
-        for (shape, cur_ratio, base_ratio, floor) in [
+        // hosts), with shape-specific parity floors.  The engine shape also
+        // carries a hard cap so a bloated committed baseline cannot keep
+        // approving equally bloated runs (see [`ENGINE_RATIO_CAP`]).
+        for (shape, cur_ratio, base_ratio, floor, cap) in [
             (
                 "spsc",
                 cur.spsc_ratio(),
                 base.spsc_ratio(),
                 SPSC_RATIO_FLOOR,
+                f64::INFINITY,
             ),
             (
                 "engine-tatp",
                 cur.tatp_ratio(),
                 base.tatp_ratio(),
                 ENGINE_RATIO_FLOOR,
+                ENGINE_RATIO_CAP,
             ),
         ] {
             let (Some(cur_ratio), Some(base_ratio)) = (cur_ratio, base_ratio) else {
                 continue;
             };
-            let limit = (base_ratio * (1.0 + threshold) + 0.02).max(floor);
+            let limit = (base_ratio * (1.0 + threshold) + 0.02).max(floor).min(cap);
             let line = format!(
                 "threads={} {shape}: ratio {cur_ratio:.3} vs baseline {base_ratio:.3} (limit {limit:.3})",
                 base.threads
@@ -897,19 +914,39 @@ mod tests {
         // Old-format current run (no optional shapes): mandatory gating only.
         assert!(check_against_baseline(&[point(2, 0.8)], &baseline, 0.30).is_ok());
         // An engine-TATP blow-up past both the relative limit and the
-        // generous floor fails...
+        // floor fails...
         let blown = vec![full_point(2, 0.5, 0.8, 100.0)];
         let err = check_against_baseline(&blown, &baseline, 0.30).unwrap_err();
         assert!(err.iter().any(|l| l.contains("engine-tatp")));
         // ...while host-load jitter under the floor passes.
-        let jitter = vec![full_point(2, 0.5, 0.8, 25.0)];
+        let jitter = vec![full_point(2, 0.5, 0.8, 14.0)];
         assert!(check_against_baseline(&jitter, &baseline, 0.30).is_ok());
+        // A ratio past the old 30x floor but within the 15x one now fails
+        // even though it is "only" 2.5x the baseline's relative limit.
+        let crept = vec![full_point(2, 0.5, 0.8, 32.0)];
+        let err = check_against_baseline(&crept, &baseline, 0.30).unwrap_err();
+        assert!(err.iter().any(|l| l.contains("engine-tatp")));
         // The SPSC lane is floored at shared-queue parity.
         let lane_parity = vec![full_point(2, 0.5, 1.08, 10.0)];
         assert!(check_against_baseline(&lane_parity, &baseline, 0.30).is_ok());
         let lane_regressed = vec![full_point(2, 0.5, 1.4, 10.0)];
         let err = check_against_baseline(&lane_regressed, &baseline, 0.30).unwrap_err();
         assert!(err.iter().any(|l| l.contains("spsc")));
+    }
+
+    #[test]
+    fn engine_gate_cap_overrides_a_bloated_baseline() {
+        // A committed baseline of 80x would set a relative limit of 104x —
+        // the cap clamps it to 60x, so a run "within 30% of baseline" still
+        // fails when both sides are collapsed...
+        let baseline = vec![full_point(2, 0.5, 0.8, 80.0)];
+        let still_bloated = vec![full_point(2, 0.5, 0.8, 70.0)];
+        let err = check_against_baseline(&still_bloated, &baseline, 0.30).unwrap_err();
+        assert!(err.iter().any(|l| l.contains("engine-tatp")));
+        // ...while a run back under the cap passes against the same
+        // baseline (it improved, so the relative rule never trips).
+        let recovered = vec![full_point(2, 0.5, 0.8, 55.0)];
+        assert!(check_against_baseline(&recovered, &baseline, 0.30).is_ok());
     }
 
     #[test]

@@ -46,6 +46,60 @@ pub const OBS_THREADS: usize = 4;
 /// min-of-N: scheduler noise only ever *lowers* throughput).
 const SAMPLES: u32 = 3;
 
+/// Scrape cadence during the instrumented measurement.  Production
+/// Prometheus scrapes every 1-15 s; 500 ms is already 2-30x that rate, and
+/// on a 1-vCPU runner every scrape preempts the partition workers, so an
+/// unrealistically hot cadence (30 ms was tried) measures scheduler
+/// thrashing, not serving cost.
+const SCRAPE_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Interleaved measurement rounds (see [`measure_overhead`]).  Host speed on
+/// small CI runners drifts by tens of percent over minutes, so measuring one
+/// side entirely before the other folds that drift straight into the ratio.
+/// Each round instead measures both sides back to back (the stubbed child
+/// binary is cached after its one-off build, so they are seconds apart) and
+/// the rounds' paired ratios are reduced by median.
+const ROUNDS: u32 = 5;
+
+/// Measure both sides paired: each round runs the instrumented (this
+/// process) and stubbed (child re-exec) measurements back to back, so a slow
+/// host epoch hits both and cancels out of that round's ratio.  The side
+/// order alternates per round to cancel any residual earlier-runs-faster
+/// bias, and the round with the *median* ratio is reported — a drift-robust
+/// estimator that discards rounds where the host speed flipped mid-round
+/// (in either direction).
+pub fn measure_overhead(scale: Scale, full: bool) -> Result<ObsResult, String> {
+    let mut rounds: Vec<ObsResult> = Vec::with_capacity(ROUNDS as usize);
+    for round in 0..ROUNDS {
+        let (instrumented_tps, stubbed_tps) = if round % 2 == 0 {
+            let i = measure_tps(scale);
+            let s = measure_stubbed_tps(full)?;
+            (i, s)
+        } else {
+            let s = measure_stubbed_tps(full)?;
+            let i = measure_tps(scale);
+            (i, s)
+        };
+        let r = ObsResult {
+            instrumented_tps,
+            stubbed_tps,
+        };
+        eprintln!(
+            "round {}/{ROUNDS}: instrumented {instrumented_tps:.0} tps, stubbed \
+             {stubbed_tps:.0} tps, ratio {:.3}",
+            round + 1,
+            r.overhead_ratio()
+        );
+        rounds.push(r);
+    }
+    rounds.sort_by(|a, b| {
+        a.overhead_ratio()
+            .partial_cmp(&b.overhead_ratio())
+            .expect("ratios are finite")
+    });
+    Ok(rounds[rounds.len() / 2])
+}
+
 /// One overhead measurement: TATP throughput with recording on vs stubbed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ObsResult {
@@ -69,22 +123,86 @@ pub fn is_stubbed() -> bool {
 /// Measure TATP throughput on PLP-Regular in *this* build — instrumented or
 /// stubbed is decided at compile time by the `obs-stub` feature.  Max of
 /// [`SAMPLES`] runs over a warmed engine.
+///
+/// The instrumented side is measured with the live exposition endpoint up
+/// and a scraper hitting `/metrics` throughout, so the gated overhead ratio
+/// prices the *whole* observability story, not just passive recording.  In
+/// `obs-stub` builds the engine never starts the endpoint ([`Engine::obs_addr`]
+/// returns `None`), which keeps the stubbed side an honest recording-free
+/// control.
 pub fn measure_tps(scale: Scale) -> f64 {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
     let tatp = Tatp::new(scale.subscribers);
     let config = EngineConfig::new(Design::PlpRegular)
         .with_partitions(OBS_THREADS)
-        .with_fanout(128);
+        .with_fanout(128)
+        .with_obs_endpoint("127.0.0.1:0");
     let engine = prepare_engine(config, &tatp);
     // A ratio of two ~10ms bursts is all scheduler noise; floor the sample
     // length so each one runs long enough to average over it.
     let txns = scale.txns_per_thread.max(2_000);
     // Warm-up pass keeps thread spawn, lane wiring and first-fault noise out.
     let _ = run_fixed(&engine, &tatp, OBS_THREADS, txns / 4, 0x0B5);
-    (0..SAMPLES)
-        .map(|i| {
-            run_fixed(&engine, &tatp, OBS_THREADS, txns, 0x0B5 ^ u64::from(i)).throughput_tps()
-        })
-        .fold(0.0, f64::max)
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        if let Some(addr) = engine.obs_addr() {
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    // Errors are deliberately ignored: the scraper exists to
+                    // load the endpoint, never to fail the measurement.
+                    let _ = scrape(addr, "/metrics");
+                    std::thread::sleep(SCRAPE_INTERVAL);
+                }
+            });
+        }
+        let best = (0..SAMPLES)
+            .map(|i| {
+                run_fixed(&engine, &tatp, OBS_THREADS, txns, 0x0B5 ^ u64::from(i)).throughput_tps()
+            })
+            .fold(0.0, f64::max);
+        stop.store(true, Ordering::SeqCst);
+        best
+    })
+}
+
+/// One blocking HTTP/1.1 GET against the engine's observability endpoint.
+pub fn scrape(addr: std::net::SocketAddr, path: &str) -> std::io::Result<String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response)
+}
+
+/// Run one TATP burst with the aggressive §5 load-balancer settings and
+/// return `(decisions_json, slow_json)`: the DLB decision audit log and the
+/// slow-transaction reservoir.  `fig_obs --audit` writes these as the
+/// nightly CI artifacts, so a regression report always comes with the
+/// controller's reasoning and the worst round trips attached.
+pub fn audit_artifacts(scale: Scale) -> (String, String) {
+    let tatp = Tatp::new(scale.subscribers);
+    let config = EngineConfig::new(Design::PlpRegular)
+        .with_partitions(OBS_THREADS)
+        .with_dlb(plp_core::DlbConfig::aggressive());
+    let engine = prepare_engine(config, &tatp);
+    let _ = run_fixed(
+        &engine,
+        &tatp,
+        OBS_THREADS,
+        scale.txns_per_thread.max(2_000),
+        0x0B5,
+    );
+    // The controller evaluates on its own thread every other aging tick
+    // (~40ms aggressive); give it a few ticks past the burst so the audit
+    // log holds post-load verdicts too.
+    std::thread::sleep(Duration::from_millis(150));
+    let stats = engine.db().stats();
+    (stats.dlb_decisions().json(), stats.slow().json())
 }
 
 /// Re-run this binary's `--measure-only` mode as a fresh cargo build with the
@@ -370,6 +488,20 @@ mod tests {
     }
 
     #[test]
+    fn audit_artifacts_are_valid_json() {
+        let (decisions, slow) = audit_artifacts(Scale::quick());
+        assert!(json_is_valid(&decisions), "decisions: {decisions}");
+        assert!(json_is_valid(&slow), "slow: {slow}");
+        // The burst commits thousands of transactions, so the reservoir must
+        // hold entries with their phase breakdowns (in stub builds the
+        // reservoir is inert and the array is legitimately empty).
+        if !is_stubbed() {
+            assert!(slow.contains("\"txn_id\""), "slow reservoir empty: {slow}");
+            assert!(slow.contains("\"phases\""), "no phase breakdowns: {slow}");
+        }
+    }
+
+    #[test]
     fn trace_demo_produces_valid_nested_trace() {
         let (trace, dump) = trace_demo();
         assert!(json_is_valid(&trace), "invalid trace: {trace}");
@@ -380,7 +512,6 @@ mod tests {
             "\"worker-0\"",
             "\"worker-1\"",
             "\"session-",
-            "\"route\"",
             "\"dispatch\"",
             "\"execute\"",
             "\"reply_wait\"",

@@ -231,6 +231,14 @@ pub struct EngineConfig {
     /// clean shutdown.  Implies a flight recorder even without
     /// [`Self::metrics_interval`].
     pub flight_dump: Option<PathBuf>,
+    /// When set, a background thread serves the live observability endpoint
+    /// on this TCP address (`"127.0.0.1:9464"`; port 0 binds an ephemeral
+    /// port, resolved via `Engine::obs_addr`): `/metrics` Prometheus
+    /// exposition, `/stats.json`, `/trace.json`, `/flight.json`,
+    /// `/decisions.json` and `/slow.json`.  Implies a flight recorder.
+    /// Ignored (no listener) in `obs-stub` builds, where there is nothing to
+    /// expose.
+    pub obs_endpoint: Option<String>,
 }
 
 impl EngineConfig {
@@ -255,6 +263,7 @@ impl EngineConfig {
             pin_workers: false,
             metrics_interval: None,
             flight_dump: None,
+            obs_endpoint: None,
         }
     }
 
@@ -335,6 +344,13 @@ impl EngineConfig {
     /// [`Self::flight_dump`]).
     pub fn with_flight_dump(mut self, path: impl Into<PathBuf>) -> Self {
         self.flight_dump = Some(path.into());
+        self
+    }
+
+    /// Serve the live observability endpoint on `addr` (see
+    /// [`Self::obs_endpoint`]).
+    pub fn with_obs_endpoint(mut self, addr: impl Into<String>) -> Self {
+        self.obs_endpoint = Some(addr.into());
         self
     }
 }

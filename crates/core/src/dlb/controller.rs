@@ -14,6 +14,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use plp_btree::costmodel::CostModelParams;
+use plp_instrument::trace::now_nanos;
+use plp_instrument::{DecisionLog, DlbDecision, DlbOutcome};
 
 use crate::catalog::Design;
 use crate::database::Database;
@@ -234,6 +236,10 @@ fn evaluate_once(
     last_repartition: &mut Option<Instant>,
 ) {
     let stats = db.stats().dlb();
+    // Every counted verdict also leaves an entry in the bounded audit log,
+    // so `/decisions.json` (and the flight recorder's autopsy dump) can
+    // answer *why* the controller did or didn't repartition after the fact.
+    let decisions = db.stats().dlb_decisions();
     // The observed gauge reports the round's *worst* root (with several
     // alignment groups, a later near-uniform root must not overwrite the
     // skewed one the operator cares about).
@@ -281,11 +287,29 @@ fn evaluate_once(
         worst_observed = Some(worst_observed.map_or(observed, |w: f64| w.max(observed)));
         if observed < config.trigger_imbalance {
             stats.skipped_balanced();
+            record_decision(
+                decisions,
+                spec.id.0,
+                observed,
+                observed,
+                0.0,
+                DlbOutcome::SkippedBalanced,
+                Vec::new(),
+            );
             continue;
         }
         if let Some(last) = *last_repartition {
             if last.elapsed() < config.min_repartition_gap {
                 stats.skipped_cooldown();
+                record_decision(
+                    decisions,
+                    spec.id.0,
+                    observed,
+                    observed,
+                    0.0,
+                    DlbOutcome::SkippedCooldown,
+                    Vec::new(),
+                );
                 continue;
             }
         }
@@ -305,18 +329,44 @@ fn evaluate_once(
         );
         let Some(plan) = plan else {
             stats.skipped_balanced();
+            record_decision(
+                decisions,
+                spec.id.0,
+                observed,
+                observed,
+                0.0,
+                DlbOutcome::SkippedNoPlan,
+                Vec::new(),
+            );
             continue;
         };
-        if observed - plan.imbalance_after < config.min_gain
-            || plan.net_benefit(config.benefit_horizon, config.move_cost_weight) <= 0.0
-        {
+        let net_benefit = plan.net_benefit(config.benefit_horizon, config.move_cost_weight);
+        if observed - plan.imbalance_after < config.min_gain || net_benefit <= 0.0 {
             stats.skipped_cost();
+            record_decision(
+                decisions,
+                spec.id.0,
+                observed,
+                plan.imbalance_after,
+                net_benefit,
+                DlbOutcome::SkippedCost,
+                Vec::new(),
+            );
             continue;
         }
         stats.set_predicted_imbalance(plan.imbalance_after);
         match pm.repartition(spec.id, &plan.new_bounds) {
             Ok(_) => {
                 stats.triggered();
+                record_decision(
+                    decisions,
+                    spec.id.0,
+                    observed,
+                    plan.imbalance_after,
+                    net_benefit,
+                    DlbOutcome::Triggered,
+                    plan.new_bounds.clone(),
+                );
                 *last_repartition = Some(Instant::now());
             }
             Err(_) => {
@@ -325,6 +375,15 @@ fn evaluate_once(
                 // Back off as if we had repartitioned, so a persistent
                 // failure cannot busy-loop the controller.
                 stats.failed();
+                record_decision(
+                    decisions,
+                    spec.id.0,
+                    observed,
+                    plan.imbalance_after,
+                    net_benefit,
+                    DlbOutcome::Failed,
+                    plan.new_bounds.clone(),
+                );
                 *last_repartition = Some(Instant::now());
             }
         }
@@ -332,6 +391,31 @@ fn evaluate_once(
     if let Some(observed) = worst_observed {
         stats.set_observed_imbalance(observed);
     }
+}
+
+/// Append one controller verdict to the audit ring.  `gain` is derived so
+/// every entry carries the same `observed - predicted` arithmetic the cost
+/// gate used.
+#[allow(clippy::too_many_arguments)]
+fn record_decision(
+    log: &DecisionLog,
+    table: u32,
+    observed: f64,
+    predicted: f64,
+    net_benefit: f64,
+    outcome: DlbOutcome,
+    bounds: Vec<u64>,
+) {
+    log.push(DlbDecision {
+        at_nanos: now_nanos(),
+        table,
+        observed,
+        predicted,
+        gain: observed - predicted,
+        net_benefit,
+        outcome,
+        bounds,
+    });
 }
 
 /// Derive cost-model parameters from a table's actual primary index.

@@ -8,7 +8,9 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use plp_instrument::trace::now_nanos;
-use plp_instrument::{obs_enabled, FlightRecorder, TraceEvent, TraceRing};
+use plp_instrument::{
+    obs_enabled, FlightRecorder, ObsServer, PhaseBreakdown, SlowTxn, TraceEvent, TraceRing,
+};
 use plp_lock::AgentLockCache;
 use plp_txn::Transaction;
 use plp_wal::{CheckpointData, Lsn};
@@ -33,6 +35,12 @@ pub struct Engine {
     // torn down.
     checkpointer: Option<CheckpointerHandle>,
     sampler: Option<MetricsSamplerHandle>,
+    /// Live observability endpoint, present when
+    /// [`EngineConfig::obs_endpoint`] is configured (and the build is not
+    /// `obs-stub`).  Reads only the shared stats registry and the flight
+    /// recorder, so its position in the drop order is uncritical — it is
+    /// stopped first anyway so shutdown never races a scrape.
+    obs: Option<ObsServer>,
     /// Flight recorder, present when [`EngineConfig::metrics_interval`] or
     /// [`EngineConfig::flight_dump`] is configured.
     recorder: Option<Arc<FlightRecorder>>,
@@ -115,8 +123,12 @@ impl Engine {
             _ => None,
         };
         // The flight recorder exists whenever anything consumes it: a
-        // periodic sampler, a panic-time autopsy path, or both.
-        let recorder = if config.metrics_interval.is_some() || config.flight_dump.is_some() {
+        // periodic sampler, a panic-time autopsy path, or the live
+        // endpoint's `/flight.json` route.
+        let recorder = if config.metrics_interval.is_some()
+            || config.flight_dump.is_some()
+            || config.obs_endpoint.is_some()
+        {
             Some(Arc::new(FlightRecorder::default()))
         } else {
             None
@@ -132,11 +144,22 @@ impl Engine {
             )),
             _ => None,
         };
+        // In obs-stub builds there is nothing worth exposing (histograms and
+        // traces compile to no-ops), so the endpoint is not started — which
+        // also keeps the fig_obs instrumented-vs-stub comparison fair.
+        let obs = match &config.obs_endpoint {
+            Some(addr) if obs_enabled() => Some(
+                ObsServer::start(addr, db.stats().clone(), recorder.clone())
+                    .unwrap_or_else(|e| panic!("bind observability endpoint {addr}: {e}")),
+            ),
+            _ => None,
+        };
         Self {
             db,
             design,
             checkpointer,
             sampler,
+            obs,
             recorder,
             flight_dump: config.flight_dump,
             dlb,
@@ -337,6 +360,13 @@ impl Engine {
         self.recorder.as_ref()
     }
 
+    /// Address of the live observability endpoint, when
+    /// [`EngineConfig::obs_endpoint`] is configured (resolves port 0 to the
+    /// ephemeral port actually bound).  `None` in `obs-stub` builds.
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs.as_ref().map(|o| o.addr())
+    }
+
     /// Render every registered trace ring (sessions, workers, background
     /// threads) as chrome://tracing Trace Event JSON.
     pub fn trace_json(&self) -> String {
@@ -409,6 +439,9 @@ impl Engine {
     /// final checkpoint is cut and the log flushed, so a clean shutdown
     /// recovers without replaying the whole history's tail.
     pub fn shutdown(&mut self) {
+        if let Some(mut obs) = self.obs.take() {
+            obs.stop();
+        }
         if let Some(ckpt) = self.checkpointer.take() {
             ckpt.stop();
         }
@@ -639,8 +672,13 @@ impl Session<'_> {
         let db = self.engine.db.clone();
         let mut txn = db.txn_manager().begin();
         let txn_id = txn.id();
+        // Per-phase round-trip attribution, accumulated across every message
+        // the transaction dispatches (partitioned designs; the conventional
+        // design has no round trips, so only the commit-time WAL wait below
+        // lands here).
+        let mut phases = PhaseBreakdown::default();
         let result = if self.engine.design.is_partitioned() {
-            self.execute_partitioned(&db, &mut txn, plan)
+            self.execute_partitioned(&db, &mut txn, plan, &mut phases)
         } else {
             self.execute_conventional(&db, &mut txn, plan)
         };
@@ -650,14 +688,32 @@ impl Session<'_> {
                     Design::Conventional { .. } => Some(db.lock_manager().as_ref()),
                     _ => None,
                 };
+                let commit_t0 = if obs_enabled() { now_nanos() } else { 0 };
                 db.txn_manager()
                     .commit_with(&mut txn, locks, Some(db.breakdown()));
                 db.breakdown().finish_txn(start.elapsed());
                 if obs_enabled() {
                     let now = now_nanos();
+                    phases.wal_nanos = now.saturating_sub(commit_t0);
                     self.ring.instant_at(TraceEvent::Commit, txn_id, now);
                     self.ring
                         .event(TraceEvent::Txn, txn_id, trace_start, now - trace_start);
+                    // One histogram store per phase per *transaction* (the
+                    // reply loop only accumulates), so the sums still equal
+                    // `action_roundtrip`'s sum exactly while the per-message
+                    // hot path stays free of extra stores.
+                    if self.engine.design.is_partitioned() {
+                        phases.record_roundtrip_phases(db.stats().latency());
+                    }
+                    // One relaxed atomic load for the fast majority; only
+                    // candidates for the top-K reservoir take its lock.
+                    db.stats().slow().offer(SlowTxn {
+                        txn_id,
+                        started_at_nanos: trace_start,
+                        total_nanos: now - trace_start,
+                        actions: outputs.len() as u32,
+                        phases,
+                    });
                 }
                 Ok(outputs)
             }
@@ -673,6 +729,12 @@ impl Session<'_> {
                     self.ring.instant_at(TraceEvent::Abort, txn_id, now);
                     self.ring
                         .event(TraceEvent::Txn, txn_id, trace_start, now - trace_start);
+                    // An aborted transaction's dispatched messages are in
+                    // `action_roundtrip` too, so their phases must land in
+                    // the histograms for the sums to keep reconciling.
+                    if self.engine.design.is_partitioned() {
+                        phases.record_roundtrip_phases(db.stats().latency());
+                    }
                 }
                 Err(e)
             }
@@ -719,6 +781,7 @@ impl Session<'_> {
         db: &Database,
         txn: &mut Transaction,
         mut plan: TransactionPlan,
+        txn_phases: &mut PhaseBreakdown,
     ) -> Result<Vec<ActionOutput>, EngineError> {
         let pm = self
             .engine
@@ -755,10 +818,11 @@ impl Session<'_> {
             let stats = db.stats();
             let num_actions = plan.actions.len();
             let mut pending: Vec<Pending> = Vec::new();
-            // One timestamp opens the route AND dispatch spans, and one
-            // closes dispatch AND feeds the stage_dispatch histogram: on
-            // this path clock reads are the dominant recording cost, so
-            // adjacent events share them.
+            // One timestamp opens the dispatch span (which covers routing),
+            // and one closes it AND feeds the stage_dispatch histogram: on
+            // this path recording cost is gated by fig_obs, so adjacent
+            // events share clock reads and per-message instants (sends,
+            // wakes) are left to the workers' own execute spans.
             let stage_t0 = if obs_enabled() { now_nanos() } else { 0 };
             {
                 let _gate = pm.dispatch_guard();
@@ -778,15 +842,6 @@ impl Session<'_> {
                         None => groups.push((worker, vec![index], vec![action.run])),
                     }
                 }
-                if obs_enabled() {
-                    let route_end = now_nanos();
-                    ring.event(
-                        TraceEvent::Route,
-                        num_actions as u64,
-                        stage_t0,
-                        route_end - stage_t0,
-                    );
-                }
                 for (worker, indices, mut actions) in groups {
                     let lane = self.lanes.get(worker);
                     if actions.len() == 1 {
@@ -802,26 +857,21 @@ impl Session<'_> {
                             }
                         };
                         let run = actions.pop().expect("singleton group");
+                        // One clock read serves as the round-trip origin,
+                        // the send event's timestamp AND the queue-wait
+                        // baseline the worker subtracts from its dequeue
+                        // time — taken just *before* the enqueue so the
+                        // worker never sees a timestamp from its future.
+                        let sent_at = now_nanos();
                         let fast = pm.worker(worker).send_action(
                             txn.id(),
                             run,
                             &mut slot,
                             lane,
                             stats.as_ref(),
-                        );
-                        stats.msg().dispatch_sent(fast);
-                        // The round-trip timestamp doubles as the send
-                        // event's — no second clock read.
-                        let sent_at = now_nanos();
-                        ring.instant_at(
-                            if fast {
-                                TraceEvent::LaneSend
-                            } else {
-                                TraceEvent::QueueSend
-                            },
-                            worker as u64,
                             sent_at,
                         );
+                        stats.msg().dispatch_sent(fast);
                         pending.push(Pending::Single {
                             index: indices[0],
                             slot,
@@ -839,16 +889,16 @@ impl Session<'_> {
                             }
                         };
                         let batched = actions.len() as u64;
+                        let sent_at = now_nanos();
                         let fast = pm.worker(worker).send_batch(
                             txn.id(),
                             actions,
                             &mut slot,
                             lane,
                             stats.as_ref(),
+                            sent_at,
                         );
                         stats.msg().batch_sent(batched, fast);
-                        let sent_at = now_nanos();
-                        ring.instant_at(TraceEvent::BatchDispatch, batched, sent_at);
                         pending.push(Pending::Batch {
                             indices,
                             slot,
@@ -877,7 +927,7 @@ impl Session<'_> {
                                reply: ActionReply,
                                stage_slots: &mut Vec<Option<ActionOutput>>,
                                txn: &mut Transaction| {
-                let ActionReply { result, log } = reply;
+                let ActionReply { result, log, .. } = reply;
                 // Merge the action's log records into the transaction so the
                 // commit record covers them (one consolidated insert).
                 for record in log {
@@ -908,12 +958,22 @@ impl Session<'_> {
                         let rt = woke.saturating_sub(sent_at);
                         stats.msg().roundtrip(rt);
                         stats.latency().action_roundtrip.record(rt);
-                        ring.instant_at(TraceEvent::ReplyWake, index as u64, woke);
                         wait_end = woke;
                         if self.reply_pool.len() < REPLY_POOL_MAX {
                             self.reply_pool.push(slot);
                         }
                         let reply = reply.map_err(|_| EngineError::Shutdown)?;
+                        if obs_enabled() {
+                            // The reply-wait phase is the round trip's
+                            // remainder, so the four phases sum to `rt`
+                            // exactly (all reads come off the same clock).
+                            // Accumulated only — the phase histograms record
+                            // once per *transaction* (see `execute`), keeping
+                            // this reply loop free of histogram stores.
+                            let mut mp = reply.phases;
+                            mp.reply_nanos = rt.saturating_sub(mp.total());
+                            txn_phases.merge(&mp);
+                        }
                         consume(index, reply, &mut stage_slots, txn);
                     }
                     Pending::Batch {
@@ -926,12 +986,23 @@ impl Session<'_> {
                         let rt = woke.saturating_sub(sent_at);
                         stats.msg().roundtrip(rt);
                         stats.latency().action_roundtrip.record(rt);
-                        ring.instant_at(TraceEvent::ReplyWake, indices.len() as u64, woke);
                         wait_end = woke;
                         let mut replies = replies.map_err(|_| EngineError::Shutdown)?;
                         debug_assert_eq!(replies.len(), indices.len(), "one reply per action");
+                        // Like the singleton arm: sum the batch's worker-side
+                        // phases (queue wait rides on the first reply only),
+                        // derive reply-wait as the remainder of the one
+                        // round trip this batch cost.
+                        let mut mp = PhaseBreakdown::default();
                         for (index, reply) in indices.iter().copied().zip(replies.drain(..)) {
+                            if obs_enabled() {
+                                mp.merge(&reply.phases);
+                            }
                             consume(index, reply, &mut stage_slots, txn);
+                        }
+                        if obs_enabled() {
+                            mp.reply_nanos = rt.saturating_sub(mp.total());
+                            txn_phases.merge(&mp);
                         }
                         // Hand the (now empty) reply Vec back to the slot so
                         // the next batch reuses its capacity.

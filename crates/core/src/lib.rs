@@ -41,5 +41,6 @@ pub use dlb::{DlbConfig, LoadBalancerHandle};
 pub use engine::{Engine, RecoveryReport};
 pub use error::EngineError;
 pub use partition::PartitionManager;
+pub use plp_instrument::{DlbDecision, DlbOutcome, PhaseBreakdown, SlowTxn};
 pub use reply::{ReplyPromise, ReplySlot};
 pub use table::Table;

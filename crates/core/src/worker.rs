@@ -52,7 +52,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, unbounded, LaneSender, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use plp_instrument::trace::now_nanos;
-use plp_instrument::{obs_enabled, CsCategory, TraceEvent};
+use plp_instrument::{obs_enabled, CsCategory, PhaseBreakdown, TraceEvent};
 use plp_lock::LocalLockTable;
 use plp_storage::{OwnerToken, PageCleaner, PageId};
 use plp_wal::LogRecord;
@@ -75,6 +75,11 @@ pub struct ActionReply {
     /// Physiological redo records the action produced; the coordinator
     /// merges them into the transaction so the commit record covers them.
     pub log: Vec<LogRecord>,
+    /// Worker-side phase attribution: queue wait (first reply of a batch
+    /// only) and execution time.  The coordinator derives the reply-wait
+    /// remainder and feeds the `phase_*` histograms; all zeros in `obs-stub`
+    /// builds.
+    pub phases: PhaseBreakdown,
 }
 
 /// Requests a worker can serve.
@@ -84,6 +89,10 @@ pub enum WorkerRequest {
         txn_id: u64,
         run: ActionFn,
         reply: ReplyPromise<ActionReply>,
+        /// Coordinator's [`now_nanos`] read just before the enqueue; the
+        /// worker subtracts it from its dequeue timestamp to attribute
+        /// queue-wait time.
+        enqueued_at: u64,
     },
     /// Execute a stage's actions for `txn_id` strictly in order, replying
     /// once for the whole batch (see the module's "Batch framing" section).
@@ -91,6 +100,7 @@ pub enum WorkerRequest {
         txn_id: u64,
         actions: Vec<ActionFn>,
         reply: BatchReplyPromise<ActionReply>,
+        enqueued_at: u64,
     },
     /// Clean the given (owned) pages — the PLP page-cleaning path.
     Clean { pages: Vec<PageId> },
@@ -158,12 +168,21 @@ impl WorkerHandle {
         slot: &mut ReplySlot<ActionReply>,
         lane: Option<&LaneSender<WorkerRequest>>,
         stats: &plp_instrument::StatsRegistry,
+        enqueued_at: u64,
     ) -> bool {
         let reply = slot.promise();
         // The enqueue is the coordinator's half of the message-passing
         // critical section pair.
         stats.cs().enter(CsCategory::MessagePassing, false);
-        self.dispatch(WorkerRequest::Action { txn_id, run, reply }, lane)
+        self.dispatch(
+            WorkerRequest::Action {
+                txn_id,
+                run,
+                reply,
+                enqueued_at,
+            },
+            lane,
+        )
     }
 
     /// Send a whole stage's worth of actions for this worker as one message
@@ -176,6 +195,7 @@ impl WorkerHandle {
         slot: &mut BatchReplySlot<ActionReply>,
         lane: Option<&LaneSender<WorkerRequest>>,
         stats: &plp_instrument::StatsRegistry,
+        enqueued_at: u64,
     ) -> bool {
         debug_assert!(!actions.is_empty(), "empty batch");
         let reply = slot.promise(actions.len());
@@ -185,6 +205,7 @@ impl WorkerHandle {
                 txn_id,
                 actions,
                 reply,
+                enqueued_at,
             },
             lane,
         )
@@ -258,22 +279,38 @@ fn worker_loop(db: Arc<Database>, design: Design, token: OwnerToken, rx: Receive
     // Executes one data-plane request (actions, batches, cleaning).  Control
     // messages never reach this — they are matched in the loop below.
     let mut execute = |req: WorkerRequest| match req {
-        WorkerRequest::Action { txn_id, run, reply } => {
+        WorkerRequest::Action {
+            txn_id,
+            run,
+            reply,
+            enqueued_at,
+        } => {
             let mut ctx = PartitionCtx::new(&db, design, token, &mut local_locks, txn_id);
             // The span guard records on drop — including the unwind of a
             // panicking action, so the autopsy dump shows what was running.
-            let span = ring.span(TraceEvent::ExecuteAction, txn_id);
+            let started = if obs_enabled() { now_nanos() } else { 0 };
+            let span = ring.span_at(TraceEvent::ExecuteAction, txn_id, started);
             let result = run(&mut ctx);
-            drop(span);
+            let finished = span.complete();
+            let phases = PhaseBreakdown {
+                queue_nanos: started.saturating_sub(enqueued_at),
+                exec_nanos: finished.saturating_sub(started),
+                ..PhaseBreakdown::default()
+            };
             let log = ctx.take_log();
             // The reply is the worker's half of the message-passing pair.
             db.stats().cs().enter(CsCategory::MessagePassing, false);
-            reply.fulfill(ActionReply { result, log });
+            reply.fulfill(ActionReply {
+                result,
+                log,
+                phases,
+            });
         }
         WorkerRequest::Batch {
             txn_id,
             actions,
             mut reply,
+            enqueued_at,
         } => {
             // Strictly in dispatch order, and every action runs even after
             // an earlier one failed — identical outcomes to the equivalent
@@ -282,22 +319,36 @@ fn worker_loop(db: Arc<Database>, design: Design, token: OwnerToken, rx: Receive
             //
             // Trace timestamps are chained — each action's end is the next
             // one's start — so the batch pays one clock read per action
-            // (plus one to open) instead of two.  Unlike the singleton arm's
-            // span guard this does not record the event of an action that
-            // panics, but the batch's predecessors are already in the ring.
+            // (plus one to open) instead of two.  Each action runs under its
+            // own span guard, so a panicking action's span is recorded
+            // during unwind (matching the singleton arm) and the autopsy
+            // dump shows which batch member was running.
             let n = actions.len() as u64;
             let batch_t0 = if obs_enabled() { now_nanos() } else { 0 };
+            let queue_nanos = batch_t0.saturating_sub(enqueued_at);
             let mut prev = batch_t0;
+            let mut first = true;
             for run in actions {
                 let mut ctx = PartitionCtx::new(&db, design, token, &mut local_locks, txn_id);
+                let span = ring.span_at(TraceEvent::ExecuteAction, txn_id, prev);
                 let result = run(&mut ctx);
-                if obs_enabled() {
-                    let t = now_nanos();
-                    ring.event(TraceEvent::ExecuteAction, txn_id, prev, t - prev);
-                    prev = t;
-                }
+                let t = span.complete();
+                let phases = PhaseBreakdown {
+                    // The whole batch waited in the queue once; attributing
+                    // it to the first reply keeps the coordinator's
+                    // per-message sum exact.
+                    queue_nanos: if first { queue_nanos } else { 0 },
+                    exec_nanos: t.saturating_sub(prev),
+                    ..PhaseBreakdown::default()
+                };
+                first = false;
+                prev = t;
                 let log = ctx.take_log();
-                reply.push(ActionReply { result, log });
+                reply.push(ActionReply {
+                    result,
+                    log,
+                    phases,
+                });
             }
             if obs_enabled() {
                 ring.event(TraceEvent::ExecuteBatch, n, batch_t0, prev - batch_t0);

@@ -90,3 +90,59 @@ fn worker_panic_writes_flight_dump_with_worker_trace() {
     // Engine is intentionally leaked: worker 0 is dead and a shutdown
     // barrier would wait on it forever.
 }
+
+#[test]
+fn batched_action_panic_still_records_execute_event() {
+    let dir = temp_dir("batch-panic");
+    let dump_path = dir.join("flight_dump.json");
+    let config = EngineConfig::new(Design::PlpRegular)
+        .with_partitions(2)
+        .with_flight_dump(&dump_path);
+    let engine = Engine::start(config, &[TableSpec::new(0, "flight", KEY_SPACE)]);
+    for k in 0..64 {
+        engine
+            .db()
+            .load_record(TABLE, k, &k.to_le_bytes(), None)
+            .unwrap();
+    }
+    engine.finish_loading();
+
+    // NO healthy transactions: the only way an "execute" event can reach the
+    // dump is the per-action span guard recording during the panic unwind.
+    // Both actions route to worker 0 (keys below KEY_SPACE/2), so the stage
+    // dispatches as one WorkerRequest::Batch — and the FIRST batch member
+    // panics, so no completed predecessor could have left an event either.
+    let engine = Box::leak(Box::new(engine));
+    std::thread::spawn(|| {
+        let mut session = engine.session();
+        let _ = session.execute(TransactionPlan::parallel(vec![
+            Action::new(TABLE, 10, |_ctx| panic!("injected batch fault")),
+            read_action(20),
+        ]));
+    });
+
+    // The dump file appearing proves the panic fired; the hook runs *before*
+    // the unwind, so the guard-recorded event is asserted on the live trace
+    // ring (which the guard reaches while the worker thread unwinds), not on
+    // the dump's contents.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !dump_path.exists() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(dump_path.exists(), "panic hook never wrote {dump_path:?}");
+    let dump = std::fs::read_to_string(&dump_path).expect("read dump");
+    assert!(json_is_valid(&dump), "dump is not valid JSON: {dump}");
+    assert!(dump.contains("\"reason\":\"panic\""), "dump: {dump}");
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut trace = engine.trace_json();
+    while !trace.contains("\"execute\"") && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+        trace = engine.trace_json();
+    }
+    assert!(
+        trace.contains("\"execute\""),
+        "panicking batch member left no execute event in worker-0's ring: {trace}"
+    );
+    // Engine intentionally leaked, as above.
+}

@@ -42,7 +42,7 @@ fn quiesce_waits_for_all_earlier_actions() {
             Ok(ActionOutput::empty())
         });
         let mut slot = ReplySlot::new();
-        worker.send_action(1, run, &mut slot, None, &stats);
+        worker.send_action(1, run, &mut slot, None, &stats, 0);
         slots.push(slot);
     }
 
@@ -69,7 +69,7 @@ fn quiesce_waits_for_all_earlier_actions() {
         Ok(ActionOutput::empty())
     });
     let mut late_slot = ReplySlot::new();
-    worker.send_action(2, run, &mut late_slot, None, &stats);
+    worker.send_action(2, run, &mut late_slot, None, &stats, 0);
     std::thread::sleep(Duration::from_millis(30));
     assert_eq!(late.load(Ordering::SeqCst), 0, "worker ran while quiesced");
     assert!(!late_slot.ready());
@@ -90,7 +90,7 @@ fn quiesce_resume_cycles_with_interleaved_actions() {
 
     for round in 0..20u64 {
         let run: ActionFn = Box::new(move |_ctx| Ok(ActionOutput::with_values(vec![round])));
-        worker.send_action(round, run, &mut slot, None, &stats);
+        worker.send_action(round, run, &mut slot, None, &stats, 0);
         let resume = worker.quiesce();
         // The action enqueued before the quiesce is already answered.
         assert!(slot.ready(), "round {round}: reply missing at quiesce ack");
@@ -101,7 +101,7 @@ fn quiesce_resume_cycles_with_interleaved_actions() {
 
     // The worker is alive and serving after 20 park/resume cycles.
     let run: ActionFn = Box::new(|_ctx| Ok(ActionOutput::empty()));
-    worker.send_action(99, run, &mut slot, None, &stats);
+    worker.send_action(99, run, &mut slot, None, &stats, 0);
     slot.wait().expect("reply").result.expect("action ok");
 }
 
@@ -127,7 +127,7 @@ fn quiesce_waits_for_batches_and_fast_lane_sends() {
             run
         })
         .collect();
-    let took_lane = worker.send_batch(7, actions, &mut slot, Some(&lane), &stats);
+    let took_lane = worker.send_batch(7, actions, &mut slot, Some(&lane), &stats, 0);
     assert!(took_lane, "an empty lane must accept the batch");
 
     // The quiesce rides the shared MPMC queue; the worker must drain the
@@ -155,7 +155,7 @@ fn quiesce_waits_for_batches_and_fast_lane_sends() {
         Ok(ActionOutput::empty())
     });
     let mut single = ReplySlot::new();
-    worker.send_action(8, run, &mut single, Some(&lane), &stats);
+    worker.send_action(8, run, &mut single, Some(&lane), &stats, 0);
     let resume = worker.quiesce();
     assert_eq!(
         late.load(Ordering::SeqCst),

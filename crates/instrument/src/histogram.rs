@@ -106,7 +106,11 @@ impl Histogram {
         {
             self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
             self.sum.fetch_add(value, Ordering::Relaxed);
-            self.max.fetch_max(value, Ordering::Relaxed);
+            // A plain load is ~free next to an atomic RMW, and after warm-up
+            // a new maximum is rare — so only those pay the `fetch_max`.
+            if value > self.max.load(Ordering::Relaxed) {
+                self.max.fetch_max(value, Ordering::Relaxed);
+            }
         }
         #[cfg(feature = "obs-stub")]
         let _ = value;
@@ -308,6 +312,16 @@ latency_histograms! {
         "Repartition: transaction drain + worker quiesce (ns).",
     repartition_move => "repartition_move" /
         "Repartition: slice/meld + ownership re-assignment after drain (ns).",
+    phase_queue_wait => "phase_queue_wait" /
+        "Round-trip phase: dispatch enqueue until the worker dequeues (ns).",
+    phase_lock_wait => "phase_lock_wait" /
+        "Round-trip phase: blocked lock acquisition inside the action body (ns).",
+    phase_execute => "phase_execute" /
+        "Round-trip phase: action body on the worker, minus lock waits (ns).",
+    phase_reply_wait => "phase_reply_wait" /
+        "Round-trip phase: worker finish until the session consumes the reply (ns).",
+    phase_wal_flush => "phase_wal_flush" /
+        "Commit-time wait for the WAL group-commit flush (ns).",
 }
 
 impl LatencySnapshot {
@@ -454,7 +468,7 @@ mod tests {
         let s = l.snapshot();
         assert_eq!(s.action_roundtrip.count, 1);
         assert_eq!(s.wal_fsync.count, 1);
-        assert_eq!(s.named().len(), 7);
+        assert_eq!(s.named().len(), 12);
         let t = s.table();
         assert!(t.render().contains("action_roundtrip"));
         l.reset();

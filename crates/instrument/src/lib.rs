@@ -30,13 +30,19 @@
 //! trace recording to no-ops; the `fig_obs` bench compares the two builds to
 //! keep the default-on overhead honest.
 
-#![forbid(unsafe_code)]
+// Denied rather than forbidden: `trace::tsc` carries the one scoped
+// exception, the RDTSC intrinsic behind the trace clock (no memory access).
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod breakdown;
+pub mod export;
 pub mod histogram;
 pub mod model;
 pub mod recorder;
 pub mod report;
+pub mod server;
+pub mod slowlog;
 pub mod stats;
 pub mod sync;
 pub mod timer;
@@ -52,12 +58,17 @@ pub use breakdown::{BreakdownSnapshot, TimeBreakdown, TimeBucket};
 pub const fn obs_enabled() -> bool {
     cfg!(not(feature = "obs-stub"))
 }
+pub use export::{
+    parse_exposition, prometheus_exposition, stats_json, validate_histogram_series, MetricSample,
+};
 pub use histogram::{Histogram, HistogramSnapshot, LatencySnapshot, LatencyStats};
 pub use model::{model_check_snapshot, ModelCheckSnapshot};
 pub use recorder::{
     dump_all_targets, register_flight_dump, unregister_flight_dump, FlightRecorder, Sample,
 };
 pub use report::{format_table, json_is_valid, json_string_literal, Cell, Table};
+pub use server::ObsServer;
+pub use slowlog::{DecisionLog, DlbDecision, DlbOutcome, PhaseBreakdown, SlowLog, SlowTxn};
 pub use stats::{
     ContentionClass, CsCategory, CsStats, CsStatsSnapshot, DlbStats, DlbStatsSnapshot, LatchStats,
     LatchStatsSnapshot, MsgStats, MsgStatsSnapshot, PageKind, StatsRegistry, StatsSnapshot,

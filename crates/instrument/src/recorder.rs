@@ -234,8 +234,8 @@ impl FlightRecorder {
     }
 
     /// The full autopsy document: `reason`, the sample time series, the
-    /// whole-run latency summaries, and every trace ring in chrome://tracing
-    /// form.
+    /// whole-run latency summaries, the slow-transaction reservoir, the DLB
+    /// decision audit log, and every trace ring in chrome://tracing form.
     pub fn dump_json(&self, stats: &StatsRegistry, reason: &str) -> String {
         let mut out = format!(
             "{{\"reason\":{},\"dumped_at_nanos\":{},\"samples\":",
@@ -261,7 +261,11 @@ impl FlightRecorder {
                 h.max
             ));
         }
-        out.push_str("],\"trace\":");
+        out.push_str("],\"slow\":");
+        out.push_str(&stats.slow().json());
+        out.push_str(",\"decisions\":");
+        out.push_str(&stats.dlb_decisions().json());
+        out.push_str(",\"trace\":");
         out.push_str(&stats.trace().chrome_json());
         out.push('}');
         out
@@ -370,6 +374,30 @@ mod tests {
     }
 
     #[test]
+    fn default_ring_wraps_past_256_samples() {
+        let stats = StatsRegistry::new_shared();
+        let recorder = FlightRecorder::default();
+        // 300 samples, one committed txn between each: sample i (0-based)
+        // carries a delta of exactly 1 except the first (0 before any txn).
+        recorder.sample_now(&stats);
+        for _ in 1..300 {
+            stats.txn_committed();
+            recorder.sample_now(&stats);
+        }
+        let samples = recorder.samples();
+        assert_eq!(samples.len(), DEFAULT_FLIGHT_SAMPLES);
+        // Oldest retained sample is #44 (300 - 256), i.e. a delta, not the
+        // absolute counter value — wraparound must not lose the baseline.
+        assert!(samples.iter().all(|s| s.committed == 1));
+        // Timestamps stay monotone across the wrap.
+        assert!(samples.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos));
+        // The JSON export of a wrapped ring stays valid and bounded.
+        let json = recorder.samples_json();
+        assert!(json_is_valid(&json));
+        assert_eq!(json.matches("\"at_nanos\"").count(), DEFAULT_FLIGHT_SAMPLES);
+    }
+
+    #[test]
     fn dump_json_is_valid_and_complete() {
         let stats = StatsRegistry::new_shared();
         let ring = stats.trace().register("worker-9");
@@ -377,11 +405,30 @@ mod tests {
         let recorder = FlightRecorder::new(8);
         stats.latency().wal_fsync.record(123);
         recorder.sample_now(&stats);
+        stats.slow().offer(crate::slowlog::SlowTxn {
+            txn_id: 42,
+            started_at_nanos: 1,
+            total_nanos: 9_999,
+            actions: 3,
+            phases: Default::default(),
+        });
+        stats.dlb_decisions().push(crate::slowlog::DlbDecision {
+            at_nanos: 5,
+            table: 0,
+            observed: 2.0,
+            predicted: 1.2,
+            gain: 0.8,
+            net_benefit: 0.3,
+            outcome: crate::slowlog::DlbOutcome::Triggered,
+            bounds: vec![0, 512],
+        });
         let dump = recorder.dump_json(&stats, "test");
         assert!(json_is_valid(&dump), "invalid dump: {dump}");
         assert!(dump.contains("\"reason\":\"test\""));
         assert!(dump.contains("\"wal_fsync\""));
         assert!(dump.contains("\"worker-9\""));
+        assert!(dump.contains("\"slow\":[{\"txn_id\":42"));
+        assert!(dump.contains("\"outcome\":\"triggered\""));
         assert!(!recorder.samples_table().is_empty());
     }
 

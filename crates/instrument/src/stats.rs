@@ -907,6 +907,10 @@ pub struct StatsRegistry {
     latency: crate::histogram::LatencyStats,
     /// Per-thread trace rings (see [`crate::trace`]).
     trace: crate::trace::TraceRegistry,
+    /// Top-K slowest transactions with phase breakdowns (see [`crate::slowlog`]).
+    slow: crate::slowlog::SlowLog,
+    /// DLB controller decision audit ring (see [`crate::slowlog`]).
+    decisions: crate::slowlog::DecisionLog,
 }
 
 impl StatsRegistry {
@@ -946,6 +950,16 @@ impl StatsRegistry {
     /// The engine's per-thread trace rings.
     pub fn trace(&self) -> &crate::trace::TraceRegistry {
         &self.trace
+    }
+
+    /// The slow-transaction reservoir.
+    pub fn slow(&self) -> &crate::slowlog::SlowLog {
+        &self.slow
+    }
+
+    /// The DLB controller's decision audit ring.
+    pub fn dlb_decisions(&self) -> &crate::slowlog::DecisionLog {
+        &self.decisions
     }
 
     #[inline]
@@ -1010,6 +1024,8 @@ impl StatsRegistry {
         self.smo_wait_nanos.store(0, Ordering::Relaxed);
         self.latency.reset();
         self.trace.reset();
+        self.slow.reset();
+        self.decisions.reset();
     }
 }
 

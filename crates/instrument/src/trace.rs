@@ -11,8 +11,9 @@
 //! tolerate torn entries — an event being overwritten while read is detected
 //! by its sequence word not matching the expected sequence and skipped. A
 //! torn entry can at worst drop or garble one display row; every access is an
-//! atomic load, so there is no undefined behavior (this crate stays
-//! `#![forbid(unsafe_code)]`).
+//! atomic load, so there is no undefined behavior (the crate denies
+//! `unsafe_code`; the single scoped exception is the `RDTSC` clock intrinsic
+//! in [`now_nanos`]'s fast path, which touches no memory).
 //!
 //! [`TraceRegistry::chrome_json`] renders every ring as a Trace Event JSON
 //! document: open chrome://tracing (or <https://ui.perfetto.dev>) and load
@@ -27,8 +28,8 @@ use parking_lot::Mutex;
 
 use crate::report::json_string_literal;
 
-/// Events per ring. At 4 words/event this is 32 KiB per traced thread.
-pub const DEFAULT_RING_EVENTS: usize = 1024;
+/// Events per ring. At 4 words/event this is 8 KiB per traced thread.
+pub const DEFAULT_RING_EVENTS: usize = 256;
 
 /// Rings retained by a [`TraceRegistry`]; registrations beyond this are
 /// still handed a working ring, it just isn't dumped (bounds memory when a
@@ -48,9 +49,100 @@ fn origin() -> &'static Instant {
 }
 
 /// Nanoseconds on the shared trace clock.
+///
+/// On x86_64 with an invariant TSC this reads `RDTSC` and scales by a
+/// once-calibrated factor (~5 ns) instead of going through `clock_gettime`
+/// (~20 ns). The engine takes on the order of ten timestamps per partitioned
+/// transaction, so the difference is a measurable slice of the
+/// instrumented-vs-stub overhead gate (`fig_obs`). Everywhere else — and
+/// when the TSC is not constant-rate — it falls back to [`Instant`].
 #[inline]
 pub fn now_nanos() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let cal = tsc::calibration();
+        if cal.mult != 0 {
+            return tsc::read(cal);
+        }
+    }
     origin().elapsed().as_nanos() as u64
+}
+
+/// RDTSC-based trace clock (x86_64 only). The sole `unsafe` in this crate is
+/// the `_rdtsc` intrinsic here, which performs no memory access.
+#[cfg(target_arch = "x86_64")]
+mod tsc {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    /// Tick→nanosecond conversion: `nanos = (ticks − anchor) * mult >> SHIFT`.
+    /// `mult == 0` means "TSC unusable here — take the [`Instant`] fallback".
+    pub(super) struct Calibration {
+        tsc0: u64,
+        pub(super) mult: u64,
+    }
+
+    /// Fixed-point fraction bits in `mult`. 24 bits keep the conversion's
+    /// rounding error far below the calibration window's own measurement
+    /// error.
+    const SHIFT: u32 = 24;
+
+    #[allow(unsafe_code)]
+    #[inline]
+    fn rdtsc() -> u64 {
+        // SAFETY: RDTSC reads the time-stamp counter register; no memory is
+        // accessed and no CPU state is mutated.
+        unsafe { std::arch::x86_64::_rdtsc() }
+    }
+
+    /// Deltas across threads and cores are only meaningful when the counter
+    /// ticks at a constant rate (`constant_tsc`) and keeps ticking in deep
+    /// C-states (`nonstop_tsc`); Linux exposes both directly. Anywhere that
+    /// can't be confirmed, the fallback clock is used instead.
+    fn tsc_is_invariant() -> bool {
+        match std::fs::read_to_string("/proc/cpuinfo") {
+            Ok(info) => info.contains("constant_tsc") && info.contains("nonstop_tsc"),
+            Err(_) => false,
+        }
+    }
+
+    pub(super) fn calibration() -> &'static Calibration {
+        static CAL: OnceLock<Calibration> = OnceLock::new();
+        CAL.get_or_init(|| {
+            if !tsc_is_invariant() {
+                return Calibration { tsc0: 0, mult: 0 };
+            }
+            // Measure ticks-per-nanosecond against the OS clock over a ~2 ms
+            // spin: the endpoints contribute tens of nanoseconds of error, so
+            // the factor is good to ~1e-5 — far below histogram bucket
+            // resolution. Paid once, at the process's first trace call.
+            let t0 = Instant::now();
+            let tsc0 = rdtsc();
+            let mut elapsed = t0.elapsed();
+            while elapsed < std::time::Duration::from_millis(2) {
+                std::hint::spin_loop();
+                elapsed = t0.elapsed();
+            }
+            let ticks = rdtsc().saturating_sub(tsc0);
+            if ticks == 0 {
+                return Calibration { tsc0: 0, mult: 0 };
+            }
+            let mult = ((elapsed.as_nanos() << SHIFT) / ticks as u128) as u64;
+            Calibration {
+                tsc0,
+                mult: mult.max(1),
+            }
+        })
+    }
+
+    /// Nanoseconds since calibration. Cross-core TSC skew on invariant-TSC
+    /// parts is tens of cycles at most; `saturating_sub` clamps the rare
+    /// read that lands "before" the anchor to zero.
+    #[inline]
+    pub(super) fn read(cal: &Calibration) -> u64 {
+        let ticks = rdtsc().saturating_sub(cal.tsc0);
+        ((ticks as u128 * cal.mult as u128) >> SHIFT) as u64
+    }
 }
 
 /// What happened. The discriminant is packed into the event's third word
@@ -62,19 +154,27 @@ pub enum TraceEvent {
     /// Whole client transaction (session ring; arg = txn id).
     Txn = 1,
     /// Routing one stage's actions to workers (session ring; arg = actions).
+    /// Reserved: the hot path folds routing into [`TraceEvent::Dispatch`] to
+    /// keep per-transaction recording inside the `fig_obs` overhead gate.
     Route = 2,
-    /// Dispatch of one stage: enqueue on every target worker (session ring;
-    /// arg = actions).
+    /// Dispatch of one stage: route + enqueue on every target worker
+    /// (session ring; arg = actions).
     Dispatch = 3,
     /// One action enqueued on a worker's SPSC fast lane (arg = worker).
+    /// Reserved off the hot path (see [`TraceEvent::Route`]); the lane/queue
+    /// split is still counted in the message statistics.
     LaneSend = 4,
     /// One action enqueued on a worker's MPMC queue (arg = worker).
+    /// Reserved off the hot path (see [`TraceEvent::LaneSend`]).
     QueueSend = 5,
     /// One batched dispatch enqueued (arg = actions in the batch).
+    /// Reserved off the hot path (see [`TraceEvent::LaneSend`]).
     BatchDispatch = 6,
     /// Waiting for all of a stage's replies (session ring; arg = replies).
     ReplyWait = 7,
-    /// One reply consumed (session ring; arg = worker).
+    /// One reply consumed (session ring; arg = worker).  Reserved off the
+    /// hot path: each reply's arrival shows as the worker span's end, and
+    /// the stage's wait window as [`TraceEvent::ReplyWait`].
     ReplyWake = 8,
     /// One action executing on a worker (worker ring; arg = txn id).
     ExecuteAction = 9,
@@ -205,11 +305,21 @@ impl TraceRing {
         } else {
             now_nanos()
         };
+        self.span_at(kind, arg, start)
+    }
+
+    /// Open a span at a timestamp the caller already read — the batched
+    /// execute loop chains one clock read per action through its guards
+    /// instead of paying two. The guard still records on panic unwind via
+    /// `Drop`; the happy path ends it with [`TraceScope::complete`] to reuse
+    /// the end timestamp as the next span's start.
+    #[inline]
+    pub fn span_at(&self, kind: TraceEvent, arg: u64, start_nanos: u64) -> TraceScope<'_> {
         TraceScope {
             ring: self,
             kind,
             arg,
-            start,
+            start: start_nanos,
         }
     }
 
@@ -279,6 +389,29 @@ pub struct TraceScope<'a> {
     kind: TraceEvent,
     arg: u64,
     start: u64,
+}
+
+impl TraceScope<'_> {
+    /// End the span now, record it, and return the end timestamp so the
+    /// caller can reuse the clock read (e.g. as the next chained span's
+    /// start). Consumes the guard without running `Drop`, so the event is
+    /// recorded exactly once. Returns 0 under `obs-stub`.
+    #[inline]
+    pub fn complete(self) -> u64 {
+        if cfg!(feature = "obs-stub") {
+            std::mem::forget(self);
+            return 0;
+        }
+        let end = now_nanos();
+        self.ring.event(
+            self.kind,
+            self.arg,
+            self.start,
+            end.saturating_sub(self.start),
+        );
+        std::mem::forget(self);
+        end
+    }
 }
 
 impl Drop for TraceScope<'_> {
@@ -413,6 +546,24 @@ mod tests {
         assert_eq!(events[1].kind, TraceEvent::ExecuteAction);
         assert_eq!(events[1].arg, 42);
         assert!(events[1].dur_nanos.is_some());
+    }
+
+    #[test]
+    fn chained_spans_record_once_and_share_timestamps() {
+        let reg = TraceRegistry::default();
+        let ring = reg.register("worker-0");
+        let t0 = now_nanos();
+        let first = ring.span_at(TraceEvent::ExecuteAction, 1, t0);
+        let t1 = first.complete();
+        assert!(t1 >= t0);
+        let second = ring.span_at(TraceEvent::ExecuteAction, 2, t1);
+        drop(second); // the unwind path: Drop records too
+        let events = ring.read();
+        assert_eq!(events.len(), 2, "complete() must not double-record");
+        assert_eq!(events[0].start_nanos, t0);
+        assert_eq!(events[0].start_nanos + events[0].dur_nanos.unwrap(), t1);
+        assert_eq!(events[1].start_nanos, t1);
+        assert_eq!(events[1].arg, 2);
     }
 
     #[test]

@@ -310,9 +310,14 @@ impl LogManager {
                 .wait_for(&mut durable, Duration::from_millis(5));
             self.flusher.wakeup.notify_one();
         }
+        let waited = start.elapsed();
         if let Some(bd) = bd {
-            bd.add(TimeBucket::LogWait, start.elapsed());
+            bd.add(TimeBucket::LogWait, waited);
         }
+        // The commit-time flush wait is also a round-trip *phase*: this is
+        // the precise recording site for `phase_wal_flush` (the session-level
+        // slow log measures the whole commit call instead).
+        self.stats.latency().phase_wal_flush.record_duration(waited);
     }
 
     /// Drain the buffer once: write the batch to the device (when attached),
