@@ -1,7 +1,8 @@
 //! CI perf-regression gate for the message-passing microbenchmark and the
 //! observability-overhead benchmark.
 //!
-//! Usage: `check_bench <current.json> <baseline.json> [threshold] [obs-current.json]`
+//! Usage: `check_bench <current.json> <baseline.json> [threshold] [obs-current.json]
+//! [server-current.json]`
 //!
 //! Compares the lock-free/mutex cost *ratios* of a fresh `fig_msgcost
 //! --json` run against the committed `BENCH_BASELINE.json` and exits
@@ -15,8 +16,15 @@
 //! throughput) against the baseline's `"obs"` entry, floored at the absolute
 //! cap `plp_bench::obs::OBS_OVERHEAD_CAP`: default-on recording must stay
 //! cheap even if a generous baseline would tolerate more.
+//!
+//! With a fifth argument — a `fig_server --json` document — it also checks
+//! the connection server's saturation throughput against the baseline's
+//! `"server"` entry, floored at the absolute
+//! `plp_bench::server::SERVER_TPS_FLOOR` so a broken front end fails even
+//! without a baseline entry.
 use plp_bench::msgcost::{check_against_baseline, parse_msgcost_json, DEFAULT_THRESHOLD};
 use plp_bench::obs::{check_obs_against_baseline, parse_obs_json};
+use plp_bench::server::{check_server_against_baseline, parse_server_json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,7 +32,8 @@ fn main() {
         (Some(c), Some(b)) => (c.clone(), b.clone()),
         _ => {
             eprintln!(
-                "usage: check_bench <current.json> <baseline.json> [threshold] [obs-current.json]"
+                "usage: check_bench <current.json> <baseline.json> [threshold] \
+                 [obs-current.json] [server-current.json]"
             );
             std::process::exit(2);
         }
@@ -67,6 +76,20 @@ fn main() {
         // An old baseline without an "obs" entry gates on the cap alone.
         let obs_baseline = parse_obs_json(&baseline_doc);
         match check_obs_against_baseline(&obs_current, obs_baseline.as_ref(), threshold) {
+            Ok(lines) => report.extend(lines),
+            Err(lines) => failures.extend(lines),
+        }
+    }
+
+    if let Some(server_path) = args.get(4) {
+        let server_doc = read(server_path);
+        let server_current = parse_server_json(&server_doc).unwrap_or_else(|| {
+            eprintln!("check_bench: no server measurement in {server_path}");
+            std::process::exit(2);
+        });
+        // An old baseline without a "server" entry gates on the floor alone.
+        let server_baseline = parse_server_json(&baseline_doc);
+        match check_server_against_baseline(&server_current, server_baseline.as_ref(), threshold) {
             Ok(lines) => report.extend(lines),
             Err(lines) => failures.extend(lines),
         }

@@ -1,0 +1,44 @@
+//! Wire-protocol server saturation figure.
+//!
+//! Usage: `fig_server [--full] [--json [path]] [--sweep-json [path]]`
+//!
+//! Sweeps client connections × pipeline depth against a TATP-loaded engine
+//! behind the TCP connection server and prints throughput / client-observed
+//! latency per point.  `--json` writes the saturation-point gate document
+//! consumed by `check_bench` (the `"server"` entry of `BENCH_BASELINE.json`);
+//! `--sweep-json` writes the full sweep for the nightly trend artifact.
+
+use plp_bench::server::{measure_server, server_json, server_sweep_json, server_table};
+use plp_bench::{print_tables, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+
+    eprintln!(
+        "sweeping server connections x pipeline depth ({} scale)...",
+        if full { "full" } else { "quick" }
+    );
+    let result = measure_server(scale, full);
+    print_tables(&[server_table(&result)]);
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(pos + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("fig_server.json");
+        std::fs::write(path, server_json(&result)).expect("write server json");
+        eprintln!("wrote {path}");
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--sweep-json") {
+        let path = args
+            .get(pos + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("fig_server_sweep.json");
+        std::fs::write(path, server_sweep_json(&result)).expect("write sweep json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,335 @@
+//! CI smoke check for the wire-protocol connection server.
+//!
+//! Usage: `server_smoke`
+//!
+//! Stands a TATP-loaded engine behind the TCP connection server and drives
+//! it the way a real client fleet would:
+//!
+//! 1. every declarative op round-trips over one connection, including the
+//!    typed error paths (duplicate key, missing table, cross-unit range);
+//! 2. a corrupted frame gets a `BadRequest` response carrying the salvaged
+//!    request id and the connection keeps working;
+//! 3. several connections pipeline TATP-mix traffic concurrently, and every
+//!    response matches a request id that connection actually sent;
+//! 4. server counters and the `/metrics` exposition agree with what ran.
+//!
+//! Exits nonzero with the violation on stderr, so the CI step fails loudly
+//! rather than shipping a front end that drops or misroutes responses.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use plp_bench::obs::scrape;
+use plp_client::{Connection, TatpOpMix};
+use plp_core::{Design, Engine, EngineConfig, ErrorCode, Op, Response, TableId};
+use plp_instrument::{obs_enabled, parse_exposition};
+use plp_server::frame::Frame;
+use plp_server::{Server, ServerConfig};
+use plp_workloads::tatp::{call_forwarding_key, Tatp, CALL_FORWARDING, SUBSCRIBER};
+use plp_workloads::{fields, Workload};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const SUBSCRIBERS: u64 = 2_000;
+const CONNECTIONS: u64 = 3;
+const PIPELINE_DEPTH: usize = 16;
+const OPS_PER_CONNECTION: u64 = 300;
+
+fn fail(why: &str) -> ! {
+    eprintln!("server_smoke: {why}");
+    std::process::exit(1);
+}
+
+fn ok_outputs(response: Response, what: &str) -> Vec<plp_core::ActionOutput> {
+    match response {
+        Response::Ok(outputs) => outputs,
+        Response::Err { code, message } => fail(&format!("{what}: unexpected {code}: {message}")),
+    }
+}
+
+fn expect_code(response: Response, code: ErrorCode, what: &str) {
+    if response.error_code() != Some(code) {
+        fail(&format!("{what}: expected {code}, got {response:?}"));
+    }
+}
+
+fn main() {
+    let tatp = Tatp::new(SUBSCRIBERS);
+    let mut config = EngineConfig::new(Design::PlpRegular).with_partitions(4);
+    if obs_enabled() {
+        config = config.with_obs_endpoint("127.0.0.1:0");
+    }
+    let engine = Engine::start_shared(config, &tatp.schema());
+    tatp.load(engine.db())
+        .unwrap_or_else(|e| fail(&format!("load failed: {e}")));
+    engine.finish_loading();
+    let mut server = Server::serve(Arc::clone(&engine), ServerConfig::default())
+        .unwrap_or_else(|e| fail(&format!("bind failed: {e}")));
+    let addr = server.addr();
+    eprintln!("server_smoke: serving on {addr}");
+
+    // --- 1. Every op kind round-trips with its error paths. ---------------
+    let mut conn = Connection::connect(addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    let call = |conn: &mut Connection, op: &Op, what: &str| -> Response {
+        conn.call(op)
+            .unwrap_or_else(|e| fail(&format!("{what}: io error {e}")))
+    };
+
+    let outputs = ok_outputs(
+        call(
+            &mut conn,
+            &Op::Get {
+                table: SUBSCRIBER,
+                key: 7,
+            },
+            "get subscriber",
+        ),
+        "get subscriber",
+    );
+    if outputs[0].rows.len() != 1 {
+        fail(&format!("subscriber 7 missing: {outputs:?}"));
+    }
+    let mut updated = Tatp::subscriber_record(7);
+    fields::set_u64(
+        &mut updated,
+        plp_workloads::tatp::sub_fields::VLR_LOCATION,
+        0xFEED,
+    );
+    ok_outputs(
+        call(
+            &mut conn,
+            &Op::Update {
+                table: SUBSCRIBER,
+                key: 7,
+                record: updated.clone(),
+            },
+            "update subscriber",
+        ),
+        "update subscriber",
+    );
+    let outputs = ok_outputs(
+        call(
+            &mut conn,
+            &Op::Get {
+                table: SUBSCRIBER,
+                key: 7,
+            },
+            "re-read subscriber",
+        ),
+        "re-read subscriber",
+    );
+    if outputs[0].rows != vec![updated] {
+        fail("subscriber update did not stick");
+    }
+
+    // Call-forwarding insert/range/delete on a key we first cleared, so the
+    // sequence is deterministic regardless of what the loader seeded.
+    let cf_key = call_forwarding_key(7, 0, 0);
+    call(
+        &mut conn,
+        &Op::Delete {
+            table: CALL_FORWARDING,
+            key: cf_key,
+            secondary_key: None,
+        },
+        "clear cf row",
+    );
+    let mut cf_record = vec![0u8; 40];
+    fields::set_u64(&mut cf_record, 0, cf_key);
+    ok_outputs(
+        call(
+            &mut conn,
+            &Op::Insert {
+                table: CALL_FORWARDING,
+                key: cf_key,
+                record: cf_record.clone(),
+                secondary_key: None,
+            },
+            "insert cf row",
+        ),
+        "insert cf row",
+    );
+    expect_code(
+        call(
+            &mut conn,
+            &Op::Insert {
+                table: CALL_FORWARDING,
+                key: cf_key,
+                record: cf_record,
+                secondary_key: None,
+            },
+            "duplicate cf insert",
+        ),
+        ErrorCode::DuplicateKey,
+        "duplicate cf insert",
+    );
+    let outputs = ok_outputs(
+        call(
+            &mut conn,
+            &Op::ReadRange {
+                table: CALL_FORWARDING,
+                lo: call_forwarding_key(7, 0, 0),
+                hi: call_forwarding_key(7, 3, 23),
+            },
+            "cf range",
+        ),
+        "cf range",
+    );
+    if !outputs[0].values.contains(&cf_key) {
+        fail("cf range did not return the inserted key");
+    }
+    let outputs = ok_outputs(
+        call(
+            &mut conn,
+            &Op::Delete {
+                table: CALL_FORWARDING,
+                key: cf_key,
+                secondary_key: None,
+            },
+            "delete cf row",
+        ),
+        "delete cf row",
+    );
+    if outputs[0].values != vec![1] {
+        fail(&format!("cf delete removed {:?} rows", outputs[0].values));
+    }
+    expect_code(
+        call(
+            &mut conn,
+            &Op::Get {
+                table: TableId(99),
+                key: 1,
+            },
+            "missing table",
+        ),
+        ErrorCode::NoSuchTable,
+        "missing table",
+    );
+    expect_code(
+        call(
+            &mut conn,
+            &Op::ReadRange {
+                table: CALL_FORWARDING,
+                lo: call_forwarding_key(1, 0, 0),
+                hi: call_forwarding_key(2, 0, 0),
+            },
+            "cross-unit range",
+        ),
+        ErrorCode::BadRequest,
+        "cross-unit range",
+    );
+
+    // --- 2. A corrupted frame is rejected without killing the pipe. -------
+    let mut corrupt = Frame::request(
+        4242,
+        &Op::Get {
+            table: SUBSCRIBER,
+            key: 1,
+        },
+    )
+    .encode();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xFF;
+    conn.send_bytes(&corrupt)
+        .and_then(|_| conn.flush())
+        .unwrap_or_else(|e| fail(&format!("send corrupt frame: {e}")));
+    match conn.recv() {
+        Ok((4242, response)) => expect_code(response, ErrorCode::BadRequest, "corrupt frame"),
+        Ok((id, response)) => fail(&format!("corrupt frame answered as {id}: {response:?}")),
+        Err(e) => fail(&format!("corrupt frame killed the connection: {e}")),
+    }
+    ok_outputs(
+        call(
+            &mut conn,
+            &Op::Get {
+                table: SUBSCRIBER,
+                key: 1,
+            },
+            "post-corruption get",
+        ),
+        "post-corruption get",
+    );
+    drop(conn);
+
+    // --- 3. Pipelined TATP-mix traffic over several connections. ----------
+    let threads: Vec<_> = (0..CONNECTIONS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut conn = Connection::connect(addr).expect("connect");
+                let mix = TatpOpMix::new(SUBSCRIBERS);
+                let mut rng = ChaCha8Rng::seed_from_u64(0x5E4E ^ (t << 8));
+                let mut pending: HashSet<u64> = HashSet::new();
+                let mut sent = 0u64;
+                let mut done = 0u64;
+                while done < OPS_PER_CONNECTION {
+                    while sent < OPS_PER_CONNECTION && pending.len() < PIPELINE_DEPTH {
+                        pending.insert(conn.send(&mix.next_op(&mut rng)).expect("send"));
+                        sent += 1;
+                    }
+                    conn.flush().expect("flush");
+                    let (id, _response) = conn.recv().expect("recv");
+                    assert!(pending.remove(&id), "response for unknown request id {id}");
+                    done += 1;
+                }
+                assert!(pending.is_empty());
+            })
+        })
+        .collect();
+    for t in threads {
+        if t.join().is_err() {
+            fail("pipelined client thread panicked");
+        }
+    }
+
+    // --- 4. Counters and /metrics agree with what ran. --------------------
+    server.stop();
+    let snap = engine.db().stats().snapshot().server;
+    if snap.connections_accepted != 1 + CONNECTIONS {
+        fail(&format!(
+            "accepted {} connections, expected {}",
+            snap.connections_accepted,
+            1 + CONNECTIONS
+        ));
+    }
+    if snap.active_connections() != 0 {
+        fail(&format!(
+            "{} connections still active after stop",
+            snap.active_connections()
+        ));
+    }
+    if snap.decode_errors != 1 {
+        fail(&format!(
+            "{} decode errors, expected the 1 corrupt frame",
+            snap.decode_errors
+        ));
+    }
+    let min_responses = CONNECTIONS * OPS_PER_CONNECTION;
+    if snap.responses_sent < min_responses {
+        fail(&format!(
+            "{} responses sent, expected >= {min_responses}",
+            snap.responses_sent
+        ));
+    }
+    if obs_enabled() {
+        let obs = engine.obs_addr().expect("endpoint configured");
+        let body =
+            scrape(obs, "/metrics").unwrap_or_else(|e| fail(&format!("GET /metrics failed: {e}")));
+        let body = body.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or(&body);
+        let samples = parse_exposition(body)
+            .unwrap_or_else(|e| fail(&format!("/metrics does not parse: {e}")));
+        let exported = samples
+            .iter()
+            .find(|s| s.name == "plp_server_responses_sent_total")
+            .unwrap_or_else(|| fail("/metrics lacks plp_server_responses_sent_total"));
+        if exported.value < min_responses as f64 {
+            fail(&format!(
+                "/metrics reports {} responses, expected >= {min_responses}",
+                exported.value
+            ));
+        }
+    }
+    println!(
+        "server_smoke: ok — {} connections, {} frames, {} responses, {} decode error",
+        snap.connections_accepted, snap.frames_decoded, snap.responses_sent, snap.decode_errors
+    );
+}

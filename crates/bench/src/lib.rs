@@ -13,6 +13,7 @@
 pub mod experiments;
 pub mod msgcost;
 pub mod obs;
+pub mod server;
 
 pub use experiments::*;
 pub use msgcost::fig_msgcost;

@@ -1,0 +1,122 @@
+//! Load generator for a running `plp_serve` instance.
+//!
+//! ```text
+//! plp_loadgen --addr HOST:PORT [--connections N] [--depth N] [--ops N]
+//!             [--subscribers N] [--seed N]
+//! ```
+//!
+//! Opens `--connections` TCP connections, each keeping `--depth` requests in
+//! flight (closed loop) until `--ops` responses came back, driving the
+//! TATP-shaped declarative op mix ([`plp_client::TatpOpMix`]).
+//! `--subscribers` must match what the server was loaded with.  Prints
+//! aggregate throughput, client-observed p50/p99 and the error-response
+//! count (duplicate-key churn is part of the mix, so a small count is
+//! expected, not a failure).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use plp_client::{Connection, TatpOpMix};
+use plp_core::Response;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    parse_flag(args, flag)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("{flag} wants a number, got {v}")))
+        })
+        .unwrap_or(default)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("plp_loadgen: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = parse_flag(&args, "--addr")
+        .unwrap_or_else(|| die("--addr HOST:PORT is required (see plp_serve's `listening` line)"));
+    let connections = parse_u64(&args, "--connections", 4);
+    let depth = parse_u64(&args, "--depth", 16) as usize;
+    let ops = parse_u64(&args, "--ops", 10_000);
+    let subscribers = parse_u64(&args, "--subscribers", 10_000);
+    let seed = parse_u64(&args, "--seed", 0xF1A7);
+
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut conn = Connection::connect(&*addr)
+                    .unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
+                let mix = TatpOpMix::new(subscribers);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (c << 16));
+                let mut in_flight: HashMap<u64, Instant> = HashMap::with_capacity(depth);
+                let mut lat_ns: Vec<u64> = Vec::with_capacity(ops as usize);
+                let mut errors = 0u64;
+                let started = Instant::now();
+                let mut sent = 0u64;
+                while sent < ops.min(depth as u64) {
+                    let id = conn.send(&mix.next_op(&mut rng)).expect("send");
+                    in_flight.insert(id, Instant::now());
+                    sent += 1;
+                }
+                conn.flush().expect("flush");
+                while (lat_ns.len() as u64) < ops {
+                    let (id, response) = conn.recv().expect("recv");
+                    if matches!(response, Response::Err { .. }) {
+                        errors += 1;
+                    }
+                    let sent_at = in_flight
+                        .remove(&id)
+                        .expect("response matches a pending id");
+                    lat_ns.push(sent_at.elapsed().as_nanos() as u64);
+                    if sent < ops {
+                        let id = conn.send(&mix.next_op(&mut rng)).expect("send");
+                        conn.flush().expect("flush");
+                        in_flight.insert(id, Instant::now());
+                        sent += 1;
+                    }
+                }
+                (lat_ns, errors, started.elapsed())
+            })
+        })
+        .collect();
+
+    let mut all_ns: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    let mut slowest = Duration::ZERO;
+    for handle in handles {
+        let (lat_ns, errs, elapsed) = handle.join().expect("client thread");
+        all_ns.extend(lat_ns);
+        errors += errs;
+        slowest = slowest.max(elapsed);
+    }
+    all_ns.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if all_ns.is_empty() {
+            return 0.0;
+        }
+        all_ns[((all_ns.len() - 1) as f64 * q).round() as usize] as f64 / 1e6
+    };
+    println!(
+        "plp_loadgen: {} requests over {} connections x depth {} in {:.2}s — \
+         {:.0} tps, p50 {:.3} ms, p99 {:.3} ms, {} error responses",
+        all_ns.len(),
+        connections,
+        depth,
+        slowest.as_secs_f64(),
+        all_ns.len() as f64 / slowest.as_secs_f64().max(1e-9),
+        pct(0.50),
+        pct(0.99),
+        errors
+    );
+}

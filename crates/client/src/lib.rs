@@ -1,0 +1,264 @@
+//! Wire-protocol client for the PLP connection server.
+//!
+//! [`Connection`] speaks the framed protocol from [`plp_server::frame`] over
+//! one TCP connection.  The two usage styles:
+//!
+//! * **Call** — [`Connection::call`]: send one op, wait for its response.
+//! * **Pipelined** — [`Connection::send`] up to some depth, then
+//!   [`Connection::recv`] responses as they arrive.  Responses may come back
+//!   in any order; match them by the request id `send` returned.
+//!
+//! [`TatpOpMix`] generates the TATP-shaped declarative op stream the
+//! load-generator binary (`plp_loadgen`) and the `fig_server` benchmark
+//! drive the server with.
+
+#![forbid(unsafe_code)]
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use plp_core::{Op, Response};
+use plp_server::frame::{read_frame, Frame, OpCode, ReadOutcome};
+use plp_workloads::fields;
+use plp_workloads::tatp::{
+    access_info_key, call_forwarding_key, sub_fields, Tatp, ACCESS_INFO, CALL_FORWARDING,
+    SUBSCRIBER,
+};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// One client connection, handshaken and ready.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_request_id: u64,
+}
+
+impl Connection {
+    /// Connect and run the `Hello`/`HelloAck` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        let mut conn = Connection {
+            reader,
+            writer,
+            next_request_id: 1,
+        };
+        let id = conn.fresh_id();
+        conn.send_frame(&Frame::hello(id))?;
+        conn.flush()?;
+        let (ack_id, frame) = conn.recv_frame()?;
+        if frame.opcode != OpCode::HelloAck as u8 || ack_id != id {
+            return Err(protocol_error(format!(
+                "handshake expected HelloAck for {id}, got opcode {} for {ack_id}",
+                frame.opcode
+            )));
+        }
+        Ok(conn)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        id
+    }
+
+    /// Queue one op into the send buffer; returns the request id its
+    /// response will carry.  Call [`flush`](Connection::flush) to put queued
+    /// requests on the wire.
+    pub fn send(&mut self, op: &Op) -> io::Result<u64> {
+        let id = self.fresh_id();
+        self.send_frame(&Frame::request(id, op))?;
+        Ok(id)
+    }
+
+    /// Queue an arbitrary frame (tests use this to exercise the server's
+    /// decode-error handling with hand-corrupted frames via
+    /// [`send_bytes`](Connection::send_bytes)).
+    pub fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
+        self.writer.write_all(&frame.encode())
+    }
+
+    /// Queue raw bytes verbatim — corrupt frames, torn fragments.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)
+    }
+
+    /// Flush queued requests to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Receive the next response, whichever request it answers.
+    pub fn recv(&mut self) -> io::Result<(u64, Response)> {
+        let (id, frame) = self.recv_frame()?;
+        let response = frame.to_response().map_err(protocol_error)?;
+        Ok((id, response))
+    }
+
+    fn recv_frame(&mut self) -> io::Result<(u64, Frame)> {
+        match read_frame(&mut self.reader)? {
+            ReadOutcome::Frame(frame) => Ok((frame.request_id, frame)),
+            ReadOutcome::Rejected { reason, .. } => {
+                // The server never sends malformed frames; treat as fatal.
+                Err(protocol_error(format!("undecodable response: {reason}")))
+            }
+            ReadOutcome::Closed => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+
+    /// Send one op and wait for its response (no pipelining).
+    pub fn call(&mut self, op: &Op) -> io::Result<Response> {
+        let id = self.send(op)?;
+        self.flush()?;
+        loop {
+            let (got, response) = self.recv()?;
+            if got == id {
+                return Ok(response);
+            }
+            // A response to an older pipelined request still in flight;
+            // single-call users never hit this, mixed users drop it.
+        }
+    }
+
+    /// The underlying stream (for socket-level tests: half-close, timeouts).
+    pub fn stream(&self) -> &TcpStream {
+        self.reader.get_ref()
+    }
+}
+
+fn protocol_error(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// TATP-shaped declarative op mix over a TATP-loaded engine (what
+/// `plp_serve` hosts): subscriber/access-info point reads, call-forwarding
+/// range reads, location updates and call-forwarding insert/delete churn.
+///
+/// Distribution (percent): 35 Get subscriber, 35 Get access-info, 10
+/// call-forwarding range read, 14 subscriber location update, 3 insert + 3
+/// delete call-forwarding.  Duplicate-key and missing-row results are part
+/// of the workload, as in TATP.
+#[derive(Debug, Clone)]
+pub struct TatpOpMix {
+    subscribers: u64,
+}
+
+impl TatpOpMix {
+    pub fn new(subscribers: u64) -> Self {
+        Self {
+            subscribers: subscribers.max(1),
+        }
+    }
+
+    pub fn subscribers(&self) -> u64 {
+        self.subscribers
+    }
+
+    /// Draw the next op.
+    pub fn next_op(&self, rng: &mut ChaCha8Rng) -> Op {
+        let s_id = rng.gen_range(0..self.subscribers);
+        let pct = rng.gen_range(0..100u32);
+        if pct < 35 {
+            Op::Get {
+                table: SUBSCRIBER,
+                key: s_id,
+            }
+        } else if pct < 70 {
+            Op::Get {
+                table: ACCESS_INFO,
+                key: access_info_key(s_id, rng.gen_range(0..4)),
+            }
+        } else if pct < 80 {
+            Op::ReadRange {
+                table: CALL_FORWARDING,
+                lo: call_forwarding_key(s_id, 0, 0),
+                hi: call_forwarding_key(s_id, 3, 23),
+            }
+        } else if pct < 94 {
+            let mut record = Tatp::subscriber_record(s_id);
+            fields::set_u64(&mut record, sub_fields::VLR_LOCATION, rng.gen());
+            Op::Update {
+                table: SUBSCRIBER,
+                key: s_id,
+                record,
+            }
+        } else {
+            let key =
+                call_forwarding_key(s_id, rng.gen_range(0..4), [0, 8, 16][rng.gen_range(0..3)]);
+            if pct < 97 {
+                let mut record = vec![0u8; 40];
+                fields::set_u64(&mut record, 0, key);
+                Op::Insert {
+                    table: CALL_FORWARDING,
+                    key,
+                    record,
+                    secondary_key: None,
+                }
+            } else {
+                Op::Delete {
+                    table: CALL_FORWARDING,
+                    key,
+                    secondary_key: None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn op_mix_covers_every_op_kind_and_stays_in_range() {
+        let mix = TatpOpMix::new(500);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let (mut gets, mut ranges, mut updates, mut inserts, mut deletes) = (0, 0, 0, 0, 0);
+        for _ in 0..2_000 {
+            match mix.next_op(&mut rng) {
+                Op::Get { table, key } => {
+                    gets += 1;
+                    if table == SUBSCRIBER {
+                        assert!(key < 500);
+                    } else {
+                        assert_eq!(table, ACCESS_INFO);
+                        assert!(key < 500 * 4);
+                    }
+                }
+                Op::ReadRange { table, lo, hi } => {
+                    ranges += 1;
+                    assert_eq!(table, CALL_FORWARDING);
+                    // Fits one partition-granularity unit (g = 32), so the
+                    // server accepts it on partitioned designs.
+                    assert_eq!(lo / 32, hi / 32);
+                }
+                Op::Update { table, record, .. } => {
+                    updates += 1;
+                    assert_eq!(table, SUBSCRIBER);
+                    assert_eq!(record.len(), sub_fields::RECORD_SIZE);
+                }
+                Op::Insert { table, record, .. } => {
+                    inserts += 1;
+                    assert_eq!(table, CALL_FORWARDING);
+                    assert_eq!(record.len(), 40);
+                }
+                Op::Delete { table, .. } => {
+                    deletes += 1;
+                    assert_eq!(table, CALL_FORWARDING);
+                }
+            }
+        }
+        assert!(gets > 1_000, "{gets}");
+        assert!(ranges > 100, "{ranges}");
+        assert!(updates > 150, "{updates}");
+        assert!(inserts > 20, "{inserts}");
+        assert!(deletes > 20, "{deletes}");
+    }
+}

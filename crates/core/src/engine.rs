@@ -23,6 +23,7 @@ use crate::dlb::{HistogramSet, LoadBalancerHandle};
 use crate::error::EngineError;
 use crate::partition::PartitionManager;
 use crate::reply::{BatchReplySlot, ReplySlot};
+use crate::request::{ErrorCode, Op, Request, Response};
 use crate::worker::{ActionReply, WorkerRequest};
 use crossbeam::channel::LaneSender;
 
@@ -83,6 +84,16 @@ impl Engine {
     pub fn start(config: EngineConfig, schema: &[TableSpec]) -> Self {
         let db = Database::create(config, schema);
         Self::build(db)
+    }
+
+    /// [`Engine::start`] wrapped in an `Arc` — the handoff shape the network
+    /// front end consumes.  Each `plp-server` executor thread clones the
+    /// `Arc`, opens one [`Session`] and drives it entirely through the
+    /// declarative [`Session::run`] entry point, so server code never builds
+    /// closure plans.  Shutdown happens through the background-thread handles
+    /// when the last clone drops.
+    pub fn start_shared(config: EngineConfig, schema: &[TableSpec]) -> Arc<Self> {
+        Arc::new(Self::start(config, schema))
     }
 
     /// Assemble the running engine (workers, DLB, checkpointer) over an
@@ -664,6 +675,57 @@ enum Pending {
 }
 
 impl Session<'_> {
+    /// Execute one declarative [`Request`] and return its [`Response`] —
+    /// the value-typed entry point shared by in-process callers and the
+    /// `plp-server` wire path.  The request is validated (tables exist;
+    /// range scans stay inside one partition-granularity unit on the
+    /// partitioned designs), lowered onto a single-stage
+    /// [`TransactionPlan`], and executed through [`Session::execute`]'s
+    /// usual commit/abort machinery; errors come back as wire-stable
+    /// [`ErrorCode`]s instead of [`EngineError`]s.
+    pub fn run(&mut self, request: Request) -> Response {
+        if request.ops.is_empty() {
+            return Response::err(ErrorCode::BadRequest, "empty request");
+        }
+        if let Some(reject) = self.validate(&request) {
+            return reject;
+        }
+        self.execute(request.lower()).into()
+    }
+
+    /// Checks lowering cannot perform: referenced tables must exist, and on
+    /// partitioned designs a range scan may not leave the granularity unit
+    /// that routes it (a wider range could touch pages owned by another
+    /// worker latch-free — see [`Op::ReadRange`]).
+    fn validate(&self, request: &Request) -> Option<Response> {
+        let partitioned = self.engine.design.is_partitioned();
+        for op in &request.ops {
+            let table = match self.engine.db.table(op.table()) {
+                Ok(t) => t,
+                Err(e) => return Some(Response::err((&e).into(), e.to_string())),
+            };
+            if let Op::ReadRange { lo, hi, .. } = *op {
+                if lo > hi {
+                    return Some(Response::err(
+                        ErrorCode::BadRequest,
+                        format!("range lo {lo} > hi {hi}"),
+                    ));
+                }
+                let granularity = table.spec().partition_granularity.max(1);
+                if partitioned && lo / granularity != hi / granularity {
+                    return Some(Response::err(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "range [{lo}, {hi}] spans partition-granularity units \
+                             (granularity {granularity}) on a partitioned design"
+                        ),
+                    ));
+                }
+            }
+        }
+        None
+    }
+
     /// Execute one transaction described by `plan`.  Returns the concatenated
     /// outputs of all its actions, or the abort reason.
     pub fn execute(&mut self, plan: TransactionPlan) -> Result<Vec<ActionOutput>, EngineError> {

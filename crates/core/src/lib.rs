@@ -30,6 +30,7 @@ pub mod error;
 pub mod partition;
 pub(crate) mod primitives;
 pub mod reply;
+pub mod request;
 pub mod table;
 pub mod topology;
 pub mod worker;
@@ -43,4 +44,5 @@ pub use error::EngineError;
 pub use partition::PartitionManager;
 pub use plp_instrument::{DlbDecision, DlbOutcome, PhaseBreakdown, SlowTxn};
 pub use reply::{ReplyPromise, ReplySlot};
+pub use request::{ErrorCode, Op, Request, Response};
 pub use table::Table;

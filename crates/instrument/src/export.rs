@@ -395,6 +395,47 @@ pub fn prometheus_exposition(stats: &StatsSnapshot, latency: &LatencySnapshot) -
         stats.msg.lane_fallbacks,
     );
 
+    e.counter(
+        "plp_server_connections_accepted_total",
+        "Client connections accepted by the network front end.",
+        stats.server.connections_accepted,
+    );
+    e.counter(
+        "plp_server_connections_closed_total",
+        "Client connections closed.",
+        stats.server.connections_closed,
+    );
+    e.gauge_u64(
+        "plp_server_active_connections",
+        "Client connections currently open.",
+        stats.server.active_connections(),
+    );
+    e.counter(
+        "plp_server_frames_decoded_total",
+        "Request frames decoded successfully.",
+        stats.server.frames_decoded,
+    );
+    e.counter(
+        "plp_server_decode_errors_total",
+        "Frames rejected by the decoder (connection kept alive).",
+        stats.server.decode_errors,
+    );
+    e.counter(
+        "plp_server_responses_sent_total",
+        "Response frames written back to clients.",
+        stats.server.responses_sent,
+    );
+    e.counter(
+        "plp_server_bytes_in_total",
+        "Frame bytes read off client sockets.",
+        stats.server.bytes_in,
+    );
+    e.counter(
+        "plp_server_bytes_out_total",
+        "Frame bytes written back to clients.",
+        stats.server.bytes_out,
+    );
+
     for (name, h) in latency.named() {
         let family = format!("plp_latency_{name}_nanoseconds");
         e.family(&family, "histogram", "Engine latency histogram (ns).");
@@ -712,6 +753,19 @@ pub fn stats_json(stats: &StatsSnapshot, latency: &LatencySnapshot) -> String {
         stats.msg.lane_hits,
         stats.msg.lane_fallbacks
     ));
+    out.push_str(&format!(
+        "\"server\":{{\"connections_accepted\":{},\"connections_closed\":{},\
+         \"active_connections\":{},\"frames_decoded\":{},\"decode_errors\":{},\
+         \"responses_sent\":{},\"bytes_in\":{},\"bytes_out\":{}}},",
+        stats.server.connections_accepted,
+        stats.server.connections_closed,
+        stats.server.active_connections(),
+        stats.server.frames_decoded,
+        stats.server.decode_errors,
+        stats.server.responses_sent,
+        stats.server.bytes_in,
+        stats.server.bytes_out
+    ));
     out.push_str("\"latency\":[");
     let mut first = true;
     for (name, h) in latency.named() {
@@ -757,6 +811,12 @@ mod tests {
         r.wal().fsync();
         r.msg().roundtrip(1_500);
         r.msg().batch_sent(4, true);
+        r.server().connection_accepted();
+        r.server().connection_accepted();
+        r.server().connection_closed();
+        r.server().frame_decoded(48);
+        r.server().decode_error(16);
+        r.server().response_sent(52);
         r.smo_performed(250);
         for v in [100u64, 1_000, 10_000, 100_000] {
             r.latency().action_roundtrip.record(v);
@@ -783,6 +843,12 @@ mod tests {
         assert_eq!(get("plp_msg_roundtrip_nanoseconds_total"), 1_500.0);
         assert_eq!(get("plp_smo_wait_nanoseconds_total"), 250.0);
         assert_eq!(get("plp_dlb_observed_imbalance"), 1.75);
+        assert_eq!(get("plp_server_connections_accepted_total"), 2.0);
+        assert_eq!(get("plp_server_active_connections"), 1.0);
+        assert_eq!(get("plp_server_frames_decoded_total"), 1.0);
+        assert_eq!(get("plp_server_decode_errors_total"), 1.0);
+        assert_eq!(get("plp_server_bytes_in_total"), 64.0);
+        assert_eq!(get("plp_server_bytes_out_total"), 52.0);
         let lockmgr = samples
             .iter()
             .find(|s| s.name == "plp_cs_contended_total" && s.label("category") == Some("lock_mgr"))
@@ -863,6 +929,8 @@ h_count 6\n";
         assert!(json.contains("\"committed\":2"));
         assert!(json.contains("\"lock_mgr\""));
         assert!(json.contains("\"action_roundtrip\""));
+        assert!(json.contains("\"server\":{\"connections_accepted\":2"));
+        assert!(json.contains("\"active_connections\":1"));
         // Empty registries also serialize cleanly.
         let empty = StatsRegistry::new();
         let json = stats_json(&empty.snapshot(), &LatencyStats::default().snapshot());

@@ -322,6 +322,8 @@ latency_histograms! {
         "Round-trip phase: worker finish until the session consumes the reply (ns).",
     phase_wal_flush => "phase_wal_flush" /
         "Commit-time wait for the WAL group-commit flush (ns).",
+    server_request => "server_request" /
+        "Server-side request latency: frame decoded to response enqueued (ns).",
 }
 
 impl LatencySnapshot {
@@ -468,7 +470,7 @@ mod tests {
         let s = l.snapshot();
         assert_eq!(s.action_roundtrip.count, 1);
         assert_eq!(s.wal_fsync.count, 1);
-        assert_eq!(s.named().len(), 12);
+        assert_eq!(s.named().len(), 13);
         let t = s.table();
         assert!(t.render().contains("action_roundtrip"));
         l.reset();

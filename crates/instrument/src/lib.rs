@@ -71,8 +71,8 @@ pub use server::ObsServer;
 pub use slowlog::{DecisionLog, DlbDecision, DlbOutcome, PhaseBreakdown, SlowLog, SlowTxn};
 pub use stats::{
     ContentionClass, CsCategory, CsStats, CsStatsSnapshot, DlbStats, DlbStatsSnapshot, LatchStats,
-    LatchStatsSnapshot, MsgStats, MsgStatsSnapshot, PageKind, StatsRegistry, StatsSnapshot,
-    WalStats, WalStatsSnapshot,
+    LatchStatsSnapshot, MsgStats, MsgStatsSnapshot, PageKind, ServerStats, ServerStatsSnapshot,
+    StatsRegistry, StatsSnapshot, WalStats, WalStatsSnapshot,
 };
 pub use sync::{InstrumentedMutex, InstrumentedRwLock};
 pub use timer::ScopedTimer;

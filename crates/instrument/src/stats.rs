@@ -648,6 +648,128 @@ impl WalStatsSnapshot {
     }
 }
 
+/// Network front-end counters for the `plp-server` connection server:
+/// connection lifecycle, frame decode outcomes and wire traffic volume.
+/// Recorded by the server's accept/reader/writer threads; the per-request
+/// server-side latency distribution lives in the `server_request` histogram
+/// (see [`crate::histogram::LatencyStats`]).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted by the listener.
+    connections_accepted: AtomicU64,
+    /// Connections closed (client disconnect, protocol breakdown or server
+    /// shutdown).  Active connections = accepted - closed.
+    connections_closed: AtomicU64,
+    /// Request frames decoded successfully.
+    frames_decoded: AtomicU64,
+    /// Frames rejected by the decoder (bad magic/version/CRC, truncated or
+    /// oversized) — the connection survives and receives an error response.
+    decode_errors: AtomicU64,
+    /// Response frames written back to clients.
+    responses_sent: AtomicU64,
+    /// Payload bytes read off client sockets (frame bytes, including
+    /// headers; excludes bytes of frames abandoned mid-read).
+    bytes_in: AtomicU64,
+    /// Bytes written back to clients.
+    bytes_out: AtomicU64,
+}
+
+impl ServerStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn connection_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one successfully decoded request frame of `bytes` wire bytes.
+    #[inline]
+    pub fn frame_decoded(&self, bytes: u64) {
+        self.frames_decoded.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one rejected frame (the `bytes` consumed resyncing past it).
+    #[inline]
+    pub fn decode_error(&self, bytes: u64) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one response frame of `bytes` wire bytes written back.
+    #[inline]
+    pub fn response_sent(&self, bytes: u64) {
+        self.responses_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            frames_decoded: self.frames_decoded.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            responses_sent: self.responses_sent.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.connections_accepted.store(0, Ordering::Relaxed);
+        self.connections_closed.store(0, Ordering::Relaxed);
+        self.frames_decoded.store(0, Ordering::Relaxed);
+        self.decode_errors.store(0, Ordering::Relaxed);
+        self.responses_sent.store(0, Ordering::Relaxed);
+        self.bytes_in.store(0, Ordering::Relaxed);
+        self.bytes_out.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    pub connections_accepted: u64,
+    pub connections_closed: u64,
+    pub frames_decoded: u64,
+    pub decode_errors: u64,
+    pub responses_sent: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+}
+
+impl ServerStatsSnapshot {
+    /// Connections currently open (accepted minus closed).
+    pub fn active_connections(&self) -> u64 {
+        self.connections_accepted
+            .saturating_sub(self.connections_closed)
+    }
+
+    /// Counter difference (`self - earlier`).
+    pub fn delta(&self, earlier: &ServerStatsSnapshot) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            connections_accepted: self
+                .connections_accepted
+                .saturating_sub(earlier.connections_accepted),
+            connections_closed: self
+                .connections_closed
+                .saturating_sub(earlier.connections_closed),
+            frames_decoded: self.frames_decoded.saturating_sub(earlier.frames_decoded),
+            decode_errors: self.decode_errors.saturating_sub(earlier.decode_errors),
+            responses_sent: self.responses_sent.saturating_sub(earlier.responses_sent),
+            bytes_in: self.bytes_in.saturating_sub(earlier.bytes_in),
+            bytes_out: self.bytes_out.saturating_sub(earlier.bytes_out),
+        }
+    }
+}
+
 /// Message-passing cost counters for the worker request/reply hot path (the
 /// paper's Figure 1 "Message passing" component, now measured in time as
 /// well as in counts).
@@ -893,6 +1015,7 @@ pub struct StatsRegistry {
     dlb: DlbStats,
     wal: WalStats,
     msg: MsgStats,
+    server: ServerStats,
     committed_txns: AtomicU64,
     aborted_txns: AtomicU64,
     /// Structure-modification operations performed (page splits, slices, melds).
@@ -940,6 +1063,11 @@ impl StatsRegistry {
 
     pub fn msg(&self) -> &MsgStats {
         &self.msg
+    }
+
+    /// The network front end's connection/frame counters.
+    pub fn server(&self) -> &ServerStats {
+        &self.server
     }
 
     /// The engine's latency histograms.
@@ -1005,6 +1133,7 @@ impl StatsRegistry {
             dlb: self.dlb.snapshot(),
             wal: self.wal.snapshot(),
             msg: self.msg.snapshot(),
+            server: self.server.snapshot(),
             committed: self.committed(),
             aborted: self.aborted(),
             smo_count: self.smo_count(),
@@ -1018,6 +1147,7 @@ impl StatsRegistry {
         self.dlb.reset();
         self.wal.reset();
         self.msg.reset();
+        self.server.reset();
         self.committed_txns.store(0, Ordering::Relaxed);
         self.aborted_txns.store(0, Ordering::Relaxed);
         self.smo_count.store(0, Ordering::Relaxed);
@@ -1037,6 +1167,7 @@ pub struct StatsSnapshot {
     pub dlb: DlbStatsSnapshot,
     pub wal: WalStatsSnapshot,
     pub msg: MsgStatsSnapshot,
+    pub server: ServerStatsSnapshot,
     pub committed: u64,
     pub aborted: u64,
     pub smo_count: u64,
@@ -1051,6 +1182,7 @@ impl StatsSnapshot {
             dlb: self.dlb.delta(&earlier.dlb),
             wal: self.wal.delta(&earlier.wal),
             msg: self.msg.delta(&earlier.msg),
+            server: self.server.delta(&earlier.server),
             committed: self.committed.saturating_sub(earlier.committed),
             aborted: self.aborted.saturating_sub(earlier.aborted),
             smo_count: self.smo_count.saturating_sub(earlier.smo_count),

@@ -1,0 +1,29 @@
+//! The network front end: wire protocol + connection server.
+//!
+//! The paper's prototype is embedded in Shore-MT's threads; this crate is
+//! what turns the reproduction into a servable system.  It has two halves:
+//!
+//! * [`frame`] — the framed binary protocol: length-prefixed, CRC-protected
+//!   frames carrying one declarative [`Op`](plp_core::Op) per request and one
+//!   [`Response`](plp_core::Response) per reply, matched by request id so a
+//!   connection can pipeline many requests and receive replies out of order.
+//! * [`server`] — the connection server: an accept thread feeding
+//!   per-connection reader threads, a fixed executor pool running
+//!   [`Session::run`](plp_core::engine::Session), and a single shared writer
+//!   thread.  No thread-per-request: a connection's in-flight requests
+//!   interleave with every other connection's in the executor pool, exactly
+//!   like the in-process batched dispatch path they lower onto.
+//!
+//! The byte-level layout, opcode/error-code tables and connection lifecycle
+//! are documented in `docs/server.md`; the `error_codes_are_pinned` and
+//! frame round-trip tests pin the wire contract.
+
+#![forbid(unsafe_code)]
+
+pub mod frame;
+pub mod server;
+
+pub use frame::{
+    read_frame, Frame, OpCode, ReadOutcome, SoftError, MAGIC, MAX_FRAME, PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerConfig};

@@ -114,7 +114,10 @@ impl Tatp {
         self.skew.sample(rng)
     }
 
-    fn subscriber_record(s_id: u64) -> Vec<u8> {
+    /// The deterministic load-time subscriber record (also the base for
+    /// declarative full-record updates, which reconstruct everything but the
+    /// field they change — see `SkewedProbe::next_request`).
+    pub fn subscriber_record(s_id: u64) -> Vec<u8> {
         let mut r = vec![0u8; sub_fields::RECORD_SIZE];
         fields::set_u64(&mut r, sub_fields::SUB_NBR, s_id + SUB_NBR_OFFSET);
         fields::set_u64(&mut r, sub_fields::BITS, s_id ^ 0x5555_5555);

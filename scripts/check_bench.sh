@@ -5,7 +5,8 @@
 # real comparison lives in `plp-bench`'s `check_bench` binary and is
 # unit-tested there).
 #
-# usage: scripts/check_bench.sh [current.json] [baseline.json] [threshold] [obs-current.json]
+# usage: scripts/check_bench.sh [current.json] [baseline.json] [threshold] \
+#        [obs-current.json] [server-current.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +14,7 @@ current="${1:-bench_msgcost.json}"
 baseline="${2:-BENCH_BASELINE.json}"
 threshold="${3:-0.30}"
 obs_current="${4:-}"
+server_current="${5:-}"
 
 if [[ ! -f "$current" ]]; then
   echo "check_bench.sh: $current not found — run:" >&2
@@ -24,9 +26,17 @@ if [[ -n "$obs_current" && ! -f "$obs_current" ]]; then
   echo "  cargo run --release -p plp-bench --bin fig_obs -- --json $obs_current" >&2
   exit 2
 fi
+if [[ -n "$server_current" && ! -f "$server_current" ]]; then
+  echo "check_bench.sh: $server_current not found — run:" >&2
+  echo "  cargo run --release -p plp-bench --bin fig_server -- --json $server_current" >&2
+  exit 2
+fi
 
 args=("$current" "$baseline" "$threshold")
 if [[ -n "$obs_current" ]]; then
   args+=("$obs_current")
+fi
+if [[ -n "$server_current" ]]; then
+  args+=("$server_current")
 fi
 exec cargo run --release -q -p plp-bench --bin check_bench -- "${args[@]}"

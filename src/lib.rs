@@ -8,9 +8,11 @@
 
 pub use plp_bench as bench;
 pub use plp_btree as btree;
+pub use plp_client as client;
 pub use plp_core as core;
 pub use plp_instrument as instrument;
 pub use plp_lock as lock;
+pub use plp_server as server;
 pub use plp_storage as storage;
 pub use plp_txn as txn;
 pub use plp_wal as wal;

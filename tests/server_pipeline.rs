@@ -1,0 +1,265 @@
+//! End-to-end wire-protocol tests: a live engine behind the TCP connection
+//! server, driven by pipelined clients over real sockets.
+
+use std::sync::Arc;
+
+use plp_client::Connection;
+use plp_core::{Design, Engine, EngineConfig, ErrorCode, Op, Response, TableId, TableSpec};
+use plp_server::frame::{Frame, MIN_REMAINDER};
+use plp_server::{Server, ServerConfig};
+
+const KV: TableId = TableId(0);
+
+/// A partitioned engine with a granularity-8 KV table behind a server.
+fn serve() -> (Arc<Engine>, Server) {
+    let schema = vec![TableSpec::new(0, "kv", 1 << 16).with_granularity(8)];
+    let config = EngineConfig::new(Design::PlpRegular).with_partitions(2);
+    let engine = Engine::start_shared(config, &schema);
+    engine.finish_loading();
+    let server = Server::serve(
+        Arc::clone(&engine),
+        ServerConfig::default().with_executors(3),
+    )
+    .expect("bind");
+    (engine, server)
+}
+
+fn record(key: u64) -> Vec<u8> {
+    let mut rec = vec![0u8; 32];
+    rec[..8].copy_from_slice(&key.to_le_bytes());
+    rec
+}
+
+#[test]
+fn pipelined_requests_come_back_matched_by_id() {
+    let (_engine, mut server) = serve();
+    let mut conn = Connection::connect(server.addr()).expect("connect");
+
+    // Pipeline 64 inserts without reading a single response.
+    let mut pending: Vec<u64> = Vec::new();
+    for key in 0..64u64 {
+        let op = Op::Insert {
+            table: KV,
+            key,
+            record: record(key),
+            secondary_key: None,
+        };
+        pending.push(conn.send(&op).unwrap());
+    }
+    conn.flush().unwrap();
+    // Responses arrive in whatever order the executor pool finished them;
+    // every request id must be answered exactly once, successfully.
+    let mut answered: Vec<u64> = Vec::new();
+    for _ in 0..pending.len() {
+        let (id, response) = conn.recv().expect("response");
+        assert_eq!(
+            response,
+            Response::Ok(vec![plp_core::ActionOutput::empty()])
+        );
+        answered.push(id);
+    }
+    answered.sort_unstable();
+    pending.sort_unstable();
+    assert_eq!(answered, pending);
+
+    // Read a few back through the same pipe.
+    for key in [0u64, 13, 63] {
+        match conn.call(&Op::Get { table: KV, key }).unwrap() {
+            Response::Ok(outputs) => assert_eq!(outputs[0].rows, vec![record(key)]),
+            other => panic!("get {key}: {other:?}"),
+        }
+    }
+    server.stop();
+}
+
+#[test]
+fn every_op_kind_round_trips_over_the_wire() {
+    let (_engine, mut server) = serve();
+    let mut conn = Connection::connect(server.addr()).expect("connect");
+    let ok = |response: Response| match response {
+        Response::Ok(outputs) => outputs,
+        Response::Err { code, message } => panic!("unexpected error {code}: {message}"),
+    };
+
+    for key in 40..48u64 {
+        ok(conn
+            .call(&Op::Insert {
+                table: KV,
+                key,
+                record: record(key),
+                secondary_key: None,
+            })
+            .unwrap());
+    }
+    // Update in place, read it back.
+    let mut updated = record(44);
+    updated[31] = 0xEE;
+    let outputs = ok(conn
+        .call(&Op::Update {
+            table: KV,
+            key: 44,
+            record: updated.clone(),
+        })
+        .unwrap());
+    assert_eq!(outputs[0].values, vec![1]);
+    let outputs = ok(conn.call(&Op::Get { table: KV, key: 44 }).unwrap());
+    assert_eq!(outputs[0].rows, vec![updated.clone()]);
+
+    // Range over one granularity-8 unit: keys 40..=47, updated row included.
+    let outputs = ok(conn
+        .call(&Op::ReadRange {
+            table: KV,
+            lo: 40,
+            hi: 47,
+        })
+        .unwrap());
+    assert_eq!(outputs[0].values, (40..48).collect::<Vec<u64>>());
+    assert_eq!(outputs[0].rows[4], updated);
+
+    // Delete, then the row is gone.
+    let outputs = ok(conn
+        .call(&Op::Delete {
+            table: KV,
+            key: 41,
+            secondary_key: None,
+        })
+        .unwrap());
+    assert_eq!(outputs[0].values, vec![1]);
+    let outputs = ok(conn.call(&Op::Get { table: KV, key: 41 }).unwrap());
+    assert!(outputs[0].rows.is_empty());
+
+    // Error paths: duplicate key, missing table, cross-unit range.
+    let response = conn
+        .call(&Op::Insert {
+            table: KV,
+            key: 40,
+            record: record(40),
+            secondary_key: None,
+        })
+        .unwrap();
+    assert_eq!(response.error_code(), Some(ErrorCode::DuplicateKey));
+    let response = conn
+        .call(&Op::Get {
+            table: TableId(9),
+            key: 1,
+        })
+        .unwrap();
+    assert_eq!(response.error_code(), Some(ErrorCode::NoSuchTable));
+    let response = conn
+        .call(&Op::ReadRange {
+            table: KV,
+            lo: 40,
+            hi: 48,
+        })
+        .unwrap();
+    assert_eq!(response.error_code(), Some(ErrorCode::BadRequest));
+    server.stop();
+}
+
+#[test]
+fn corrupt_frames_get_error_responses_without_losing_the_connection() {
+    let (engine, mut server) = serve();
+    let mut conn = Connection::connect(server.addr()).expect("connect");
+
+    // A frame with a flipped CRC byte: rejected, request id preserved.
+    let mut corrupt = Frame::request(7777, &Op::Get { table: KV, key: 1 }).encode();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xFF;
+    conn.send_bytes(&corrupt).unwrap();
+    conn.flush().unwrap();
+    let (id, response) = conn.recv().unwrap();
+    assert_eq!(id, 7777);
+    assert_eq!(response.error_code(), Some(ErrorCode::BadRequest));
+
+    // An unknown opcode inside a well-formed frame: same, via to_op.
+    let mut unknown = Frame::hello(501);
+    unknown.opcode = 9;
+    conn.send_frame(&unknown).unwrap();
+    conn.flush().unwrap();
+    let (id, response) = conn.recv().unwrap();
+    assert_eq!(id, 501);
+    assert_eq!(response.error_code(), Some(ErrorCode::BadRequest));
+
+    // A runt frame (len below the header size): rejected without an id.
+    let mut runt = 10u32.to_le_bytes().to_vec();
+    runt.extend_from_slice(&[0u8; 10]);
+    conn.send_bytes(&runt).unwrap();
+    conn.flush().unwrap();
+    let (id, response) = conn.recv().unwrap();
+    assert_eq!(id, 0, "no salvageable request id");
+    assert_eq!(response.error_code(), Some(ErrorCode::BadRequest));
+
+    // The connection still works.
+    let response = conn.call(&Op::Get { table: KV, key: 5 }).unwrap();
+    assert!(response.is_ok());
+
+    let snap = engine.db().stats().snapshot().server;
+    assert_eq!(snap.decode_errors, 2, "crc + runt (unknown opcode decodes)");
+    assert!(snap.frames_decoded >= 3, "hello + unknown + get");
+    server.stop();
+    let snap = engine.db().stats().snapshot().server;
+    assert_eq!(snap.connections_accepted, 1);
+    assert_eq!(snap.connections_closed, 1);
+    assert_eq!(snap.active_connections(), 0);
+
+    // Sanity: the wire's minimum-frame constant matches Frame::encode.
+    assert_eq!(Frame::hello(0).encode().len(), MIN_REMAINDER + 4);
+}
+
+#[test]
+fn many_connections_share_the_executor_pool() {
+    let (engine, mut server) = serve();
+    let addr = server.addr();
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut conn = Connection::connect(addr).expect("connect");
+                // Disjoint key stripes per connection, pipelined depth 16.
+                let base = 1_000 + t * 100;
+                let mut pending = Vec::new();
+                for key in base..base + 16 {
+                    pending.push(
+                        conn.send(&Op::Insert {
+                            table: KV,
+                            key,
+                            record: record(key),
+                            secondary_key: None,
+                        })
+                        .unwrap(),
+                    );
+                }
+                conn.flush().unwrap();
+                for _ in &pending {
+                    let (_, response) = conn.recv().expect("response");
+                    assert!(response.is_ok(), "{response:?}");
+                }
+                for key in base..base + 16 {
+                    let response = conn.call(&Op::Get { table: KV, key }).unwrap();
+                    match response {
+                        Response::Ok(outputs) => assert_eq!(outputs[0].rows, vec![record(key)]),
+                        other => panic!("{other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    // The in-process path stays fully usable next to the server.
+    let mut session = engine.session();
+    let response = session.run(plp_core::Request::single(Op::Get {
+        table: KV,
+        key: 1_000,
+    }));
+    match response {
+        Response::Ok(outputs) => assert_eq!(outputs[0].rows, vec![record(1_000)]),
+        other => panic!("{other:?}"),
+    }
+    server.stop();
+    let snap = engine.db().stats().snapshot().server;
+    assert_eq!(snap.connections_accepted, 4);
+    assert_eq!(snap.active_connections(), 0);
+    // Per connection: HelloAck + 16 insert + 16 get responses.
+    assert!(snap.responses_sent >= 4 * 33, "{snap:?}");
+}
